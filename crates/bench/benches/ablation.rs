@@ -1,0 +1,8 @@
+//! Ablations over the reproduction's design choices (not a paper figure):
+//! credit-drop policy, routing mode, §7 early CREDIT_STOP, w_min.
+fn main() {
+    xpass_bench::bench_main("ablations", || {
+        let cfg = xpass_experiments::ablations::Config::default();
+        xpass_experiments::ablations::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,11 @@
+//! Fig 1 — queue build-up under partition/aggregate (ideal / DCTCP / credit).
+fn main() {
+    xpass_bench::bench_main("fig01_queue_buildup", || {
+        let cfg = if xpass_bench::paper_scale() {
+            xpass_experiments::fig01_queue_buildup::Config::paper_scale()
+        } else {
+            xpass_experiments::fig01_queue_buildup::Config::default()
+        };
+        xpass_experiments::fig01_queue_buildup::run(&cfg).to_string()
+    });
+}

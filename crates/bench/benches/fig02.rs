@@ -1,0 +1,7 @@
+//! Fig 2 — naïve credit vs CUBIC vs DCTCP convergence.
+fn main() {
+    xpass_bench::bench_main("fig02_naive_convergence", || {
+        let cfg = xpass_experiments::fig02_naive_convergence::Config::default();
+        xpass_experiments::fig02_naive_convergence::run(&cfg).to_string()
+    });
+}

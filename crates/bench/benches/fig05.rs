@@ -1,0 +1,6 @@
+//! Fig 5 — ToR buffer requirement vs link speed.
+fn main() {
+    xpass_bench::bench_main("fig05_buffer_breakdown", || {
+        xpass_experiments::fig05_buffer_breakdown::run().to_string()
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 6a — pacing jitter vs credit-drop fairness.
+fn main() {
+    xpass_bench::bench_main("fig06_jitter_fairness", || {
+        let cfg = xpass_experiments::fig06_jitter_fairness::Config::default();
+        xpass_experiments::fig06_jitter_fairness::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 8 — initial-rate trade-off (convergence vs credit waste).
+fn main() {
+    xpass_bench::bench_main("fig08_init_rate_tradeoff", || {
+        let cfg = xpass_experiments::fig08_init_rate_tradeoff::Config::default();
+        xpass_experiments::fig08_init_rate_tradeoff::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 9 — credit queue capacity vs utilization.
+fn main() {
+    xpass_bench::bench_main("fig09_credit_queue_capacity", || {
+        let cfg = xpass_experiments::fig09_credit_queue_capacity::Config::default();
+        xpass_experiments::fig09_credit_queue_capacity::run(&cfg).to_string()
+    });
+}

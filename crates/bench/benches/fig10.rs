@@ -1,0 +1,7 @@
+//! Fig 10 — parking-lot utilization, naïve vs feedback.
+fn main() {
+    xpass_bench::bench_main("fig10_parking_lot", || {
+        let cfg = xpass_experiments::fig10_parking_lot::Config::default();
+        xpass_experiments::fig10_parking_lot::run(&cfg).to_string()
+    });
+}

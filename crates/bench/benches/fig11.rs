@@ -1,0 +1,7 @@
+//! Fig 11 — multi-bottleneck fairness.
+fn main() {
+    xpass_bench::bench_main("fig11_multi_bottleneck", || {
+        let cfg = xpass_experiments::fig11_multi_bottleneck::Config::default();
+        xpass_experiments::fig11_multi_bottleneck::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 12 — steady-state feedback behaviour (discrete model).
+fn main() {
+    xpass_bench::bench_main("fig12_steady_state", || {
+        let cfg = xpass_experiments::fig12_steady_state::Config::default();
+        xpass_experiments::fig12_steady_state::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,8 @@
+//! Fig 13 — convergence behaviour of five staggered flows.
+fn main() {
+    xpass_bench::bench_main("fig13_convergence_trace", || {
+        let cfg = xpass_experiments::fig13_convergence_trace::Config::default();
+        let (xp, dc) = xpass_experiments::fig13_convergence_trace::run_both(&cfg);
+        format!("{xp}\n{dc}")
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 6b / Fig 14 — host-model distributions.
+fn main() {
+    xpass_bench::bench_main("fig14_host_model", || {
+        let cfg = xpass_experiments::fig14_host_model::Config::default();
+        xpass_experiments::fig14_host_model::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 15 — flow scalability (utilization / fairness / queue).
+fn main() {
+    xpass_bench::bench_main("fig15_flow_scalability", || {
+        let cfg = xpass_experiments::fig15_flow_scalability::Config::default();
+        xpass_experiments::fig15_flow_scalability::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 16 — convergence time at 10G/100G.
+fn main() {
+    xpass_bench::bench_main("fig16_convergence", || {
+        let cfg = xpass_experiments::fig16_convergence::Config::default();
+        xpass_experiments::fig16_convergence::run(&cfg).to_string()
+    });
+}

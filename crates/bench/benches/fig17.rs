@@ -1,0 +1,11 @@
+//! Fig 17 — MapReduce shuffle FCT distribution.
+fn main() {
+    xpass_bench::bench_main("fig17_shuffle", || {
+        let cfg = if xpass_bench::paper_scale() {
+            xpass_experiments::fig17_shuffle::Config::paper_scale()
+        } else {
+            xpass_experiments::fig17_shuffle::Config::default()
+        };
+        xpass_experiments::fig17_shuffle::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 18 — (α, w_init) parameter sensitivity.
+fn main() {
+    xpass_bench::bench_main("fig18_param_sensitivity", || {
+        let cfg = xpass_experiments::fig18_param_sensitivity::Config::default();
+        xpass_experiments::fig18_param_sensitivity::run(&cfg).to_string()
+    });
+}

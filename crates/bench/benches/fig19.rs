@@ -1,0 +1,11 @@
+//! Fig 19 — FCT per size bucket under realistic workloads.
+fn main() {
+    xpass_bench::bench_main("fig19_fct", || {
+        let cfg = if xpass_bench::paper_scale() {
+            xpass_experiments::fig19_fct::Config::paper_scale()
+        } else {
+            xpass_experiments::fig19_fct::Config::default()
+        };
+        xpass_experiments::fig19_fct::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,7 @@
+//! Fig 20 — credit waste ratio.
+fn main() {
+    xpass_bench::bench_main("fig20_credit_waste", || {
+        let cfg = xpass_experiments::fig20_credit_waste::Config::default();
+        xpass_experiments::fig20_credit_waste::run(&cfg).to_string()
+    });
+}

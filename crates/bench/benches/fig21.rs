@@ -1,0 +1,7 @@
+//! Fig 21 — FCT speed-up of 40G over 10G.
+fn main() {
+    xpass_bench::bench_main("fig21_speedup", || {
+        let cfg = xpass_experiments::fig21_speedup::Config::default();
+        xpass_experiments::fig21_speedup::run(&cfg).to_string()
+    });
+}

@@ -1,0 +1,6 @@
+//! Table 1 — network-calculus buffer bounds.
+fn main() {
+    xpass_bench::bench_main("table1_buffer_bounds", || {
+        xpass_experiments::table1_buffer_bounds::run().to_string()
+    });
+}

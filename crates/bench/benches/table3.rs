@@ -1,0 +1,11 @@
+//! Table 3 — queue occupancy by scheme, workload, and load.
+fn main() {
+    xpass_bench::bench_main("table3_queue", || {
+        let cfg = if xpass_bench::paper_scale() {
+            xpass_experiments::table3_queue::Config::paper_scale()
+        } else {
+            xpass_experiments::table3_queue::Config::default()
+        };
+        xpass_experiments::table3_queue::run(&cfg).to_string()
+    });
+}

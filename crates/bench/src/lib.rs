@@ -1,0 +1,51 @@
+//! # xpass-bench — the benchmark harness
+//!
+//! One `cargo bench` target per table/figure of the paper's evaluation
+//! (`fig01` … `fig21`, `table1`, `table3`), each of which runs the
+//! corresponding experiment from `xpass-experiments` at its scaled default
+//! configuration and prints the same rows/series the paper reports, plus
+//! `engine` — Criterion microbenchmarks of the simulator core.
+//!
+//! Scaled defaults finish in seconds to a couple of minutes; set
+//! `XPASS_PAPER_SCALE=1` to run an experiment at the paper's full
+//! parameters where a `paper_scale()` configuration exists (expect long
+//! runtimes).
+
+
+#![warn(missing_docs)]
+use std::time::Instant;
+
+/// Whether the environment requests paper-scale runs.
+pub fn paper_scale() -> bool {
+    std::env::var_os("XPASS_PAPER_SCALE").is_some_and(|v| v != "0")
+}
+
+/// Run one experiment body, printing its rendered result and wall time.
+pub fn bench_main(name: &str, f: impl FnOnce() -> String) {
+    // `cargo bench` passes --bench (and possibly filters); a filter that
+    // doesn't match this target's name means "skip".
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filters: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-') && a.as_str() != "main")
+        .collect();
+    if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+        println!("{name}: skipped by filter");
+        return;
+    }
+    println!("==== {name} ====");
+    let t0 = Instant::now();
+    let out = f();
+    let dt = t0.elapsed();
+    println!("{out}");
+    println!("[{name} completed in {:.2}s]\n", dt.as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_scale_env() {
+        // Not set in the test environment.
+        assert!(!super::paper_scale() || std::env::var_os("XPASS_PAPER_SCALE").is_some());
+    }
+}

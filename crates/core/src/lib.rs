@@ -1,0 +1,37 @@
+//! # expresspass — credit-scheduled delay-bounded congestion control
+//!
+//! The primary contribution of *Credit-Scheduled Delay-Bounded Congestion
+//! Control for Datacenters* (Cho, Jang, Han — SIGCOMM 2017), implemented on
+//! the `xpass-net` packet-level substrate.
+//!
+//! ExpressPass inverts the usual congestion-control arrow: the **receiver**
+//! emits small credit packets; every switch port and host NIC rate-limits
+//! the credit class to `84/(84+1538) ≈ 5.18 %` of the link; a sender
+//! transmits one maximum-size data frame per credit received. Because data
+//! can only enter the network against credits that already traversed (and
+//! were metered on) the reverse path, data queues are **bounded by path
+//! delay spread** rather than by offered load, and data loss is eliminated.
+//!
+//! Components:
+//!
+//! * [`config`] — protocol parameters (α, w_init, w_min, target loss, jitter).
+//! * [`feedback`] — Algorithm 1: the credit-rate feedback controller.
+//! * [`endpoints`] — the sender / receiver state machines (Fig 7) as
+//!   `xpass-net` endpoints, including credit pacing with jitter and
+//!   randomized credit sizes (§3.1) and credit-sequence loss accounting.
+//! * [`netcalc`] — the network-calculus machinery of §3.1 (Eq 1): per-port
+//!   buffer bounds for hierarchical topologies (Table 1, Fig 5).
+//! * [`analysis`] — the §4 discrete model: closed-form iteration of the
+//!   feedback recurrences demonstrating convergence to fair share (Fig 12).
+
+
+#![warn(missing_docs)]
+pub mod analysis;
+pub mod config;
+pub mod endpoints;
+pub mod feedback;
+pub mod netcalc;
+
+pub use config::XPassConfig;
+pub use endpoints::{xpass_factory, XPassReceiver, XPassSender};
+pub use feedback::CreditFeedback;

@@ -1,0 +1,420 @@
+//! Network calculus for zero-data-loss buffer bounds (paper §3.1, Eq 1).
+//!
+//! A switch port needs enough data buffer to absorb the worst-case *delay
+//! spread* between a credit passing its meter and the triggered data coming
+//! back: if the fastest credit→data loop takes `d_min` and the slowest
+//! `d_max`, then up to `(d_max − d_min) · data_rate` bytes can arrive
+//! simultaneously.
+//!
+//! For hierarchical topologies the spread is computed per **port class**
+//! (NIC, ToR-from-above, ToR-from-below, Agg-from-above, Agg-from-below,
+//! Core), iterating from the NIC up (the paper's "iterative fashion"):
+//!
+//! ```text
+//! d_p_min = min_{q ∈ N(p)} ( t(p,q) + d_q_min )
+//! d_p_max = max(d_credit) + max_{q ∈ N(p)} ( t(p,q) + d_q_max + Δd_q )
+//! ```
+//!
+//! where `t(p,q)` is the round-trip wire cost to the next hop (propagation
+//! both ways + credit and data serialization), `max(d_credit)` is the drain
+//! time of a full credit queue at the egress the credit takes, and the
+//! `Δd_q` term accounts for the data packet's own queuing at `q` (bounded by
+//! that port's spread). Traffic entering from an uplink can only be
+//! forwarded down, so "from-above" classes recurse only downward — this is
+//! why ToR *up* ports need far less buffer than ToR *down* ports (Table 1).
+
+use xpass_net::packet::{CREDIT_SIZE, MAX_FRAME};
+use xpass_sim::time::{tx_time, Dur};
+
+/// One tier of links in a hierarchical topology.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkClass {
+    /// Line rate in bits/s.
+    pub speed_bps: u64,
+    /// One-way propagation delay.
+    pub prop: Dur,
+}
+
+/// A symmetric 3-tier hierarchy (fat tree or Clos) described by its link
+/// classes and per-switch port counts.
+#[derive(Clone, Debug)]
+pub struct HierTopo {
+    /// Topology label for reports.
+    pub name: String,
+    /// Host ↔ ToR links.
+    pub host_link: LinkClass,
+    /// ToR ↔ Agg links.
+    pub tor_agg: LinkClass,
+    /// Agg ↔ Core links.
+    pub agg_core: LinkClass,
+    /// Down (host-facing) ports per ToR.
+    pub tor_down_ports: usize,
+    /// Up (agg-facing) ports per ToR.
+    pub tor_up_ports: usize,
+}
+
+impl HierTopo {
+    /// A k-ary fat tree with the paper's Table-1 speed/delay conventions:
+    /// 1 µs propagation on host and ToR–Agg links, 5 µs on core links.
+    pub fn fat_tree(k: usize, host_bps: u64, up_bps: u64, name: &str) -> HierTopo {
+        HierTopo {
+            name: name.to_string(),
+            host_link: LinkClass {
+                speed_bps: host_bps,
+                prop: Dur::us(1),
+            },
+            tor_agg: LinkClass {
+                speed_bps: up_bps,
+                prop: Dur::us(1),
+            },
+            agg_core: LinkClass {
+                speed_bps: up_bps,
+                prop: Dur::us(5),
+            },
+            tor_down_ports: k / 2,
+            tor_up_ports: k / 2,
+        }
+    }
+
+    /// The paper's "32-ary fat tree (10/40 Gbps)" row.
+    pub fn fat32_10_40() -> HierTopo {
+        HierTopo::fat_tree(32, 10_000_000_000, 40_000_000_000, "32-ary fat tree (10/40G)")
+    }
+
+    /// The paper's "32-ary fat tree (40/100 Gbps)" row.
+    pub fn fat32_40_100() -> HierTopo {
+        HierTopo::fat_tree(32, 40_000_000_000, 100_000_000_000, "32-ary fat tree (40/100G)")
+    }
+
+    /// The paper's "(100/100 Gbps)" configuration (Fig 5).
+    pub fn fat32_100_100() -> HierTopo {
+        HierTopo::fat_tree(32, 100_000_000_000, 100_000_000_000, "32-ary fat tree (100/100G)")
+    }
+
+    /// The paper's "3-tier Clos (10/40 Gbps)" row. Per-class bounds depend
+    /// only on link classes, so they match the fat-tree row exactly — as
+    /// Table 1 shows.
+    pub fn clos_10_40() -> HierTopo {
+        let mut t = HierTopo::fat32_10_40();
+        t.name = "3-tier Clos (10/40G)".into();
+        t.tor_down_ports = 8;
+        t.tor_up_ports = 8;
+        t
+    }
+
+    /// The paper's "3-tier Clos (40/100 Gbps)" row.
+    pub fn clos_40_100() -> HierTopo {
+        let mut t = HierTopo::fat32_40_100();
+        t.name = "3-tier Clos (40/100G)".into();
+        t.tor_down_ports = 8;
+        t.tor_up_ports = 8;
+        t
+    }
+}
+
+/// Network-calculus parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetCalcParams {
+    /// Credit queue capacity per port (paper: 8 in the testbed set, 4 for
+    /// the NIC-hardware set of Fig 5b).
+    pub credit_queue: usize,
+    /// Minimum host credit-processing delay.
+    pub dhost_min: Dur,
+    /// Maximum host credit-processing delay (spread = max − min).
+    pub dhost_max: Dur,
+    /// Per-switch forwarding latency (applied twice per hop round trip).
+    pub switch_latency: Dur,
+}
+
+impl NetCalcParams {
+    /// Testbed parameter set: 8-credit queues, Δd_host ≈ 5.3 µs (Fig 14a).
+    pub fn testbed() -> NetCalcParams {
+        NetCalcParams {
+            credit_queue: 8,
+            dhost_min: Dur::ns(900),
+            dhost_max: Dur::ns(6200),
+            switch_latency: Dur::ZERO,
+        }
+    }
+
+    /// NIC-hardware parameter set of Fig 5(b): 4-credit queues, Δd_host = 1 µs.
+    pub fn nic_hardware() -> NetCalcParams {
+        NetCalcParams {
+            credit_queue: 4,
+            dhost_min: Dur::ns(200),
+            dhost_max: Dur::ns(1200),
+            switch_latency: Dur::ZERO,
+        }
+    }
+}
+
+/// Delay interval of one port class.
+#[derive(Clone, Copy, Debug)]
+pub struct DelayBound {
+    /// Fastest credit→data loop.
+    pub d_min: Dur,
+    /// Slowest credit→data loop, including downstream data queuing.
+    pub d_max: Dur,
+}
+
+impl DelayBound {
+    /// The delay spread `Δd = d_max − d_min`.
+    pub fn spread(&self) -> Dur {
+        self.d_max - self.d_min
+    }
+}
+
+/// Buffer bounds for every port class of a hierarchy (Table 1 content).
+#[derive(Clone, Debug)]
+pub struct BufferBounds {
+    /// Analyzed topology name.
+    pub name: String,
+    /// ToR host-facing ports (largest requirement).
+    pub tor_down: PortBound,
+    /// ToR agg-facing ports.
+    pub tor_up: PortBound,
+    /// Core ports.
+    pub core: PortBound,
+    /// Agg ToR-facing ports.
+    pub agg_down: PortBound,
+    /// Agg core-facing ports.
+    pub agg_up: PortBound,
+}
+
+/// Spread and resulting byte bound for one port class.
+#[derive(Clone, Copy, Debug)]
+pub struct PortBound {
+    /// Credit→data delay spread governing this class.
+    pub spread: Dur,
+    /// Required data buffer in bytes for zero loss.
+    pub buffer_bytes: u64,
+}
+
+/// Round-trip wire cost of one hop: propagation both ways plus credit and
+/// data serialization plus switch forwarding latency both ways.
+fn hop_rt(link: LinkClass, p: &NetCalcParams) -> Dur {
+    link.prop * 2
+        + tx_time(CREDIT_SIZE as u64, link.speed_bps)
+        + tx_time(MAX_FRAME as u64, link.speed_bps)
+        + p.switch_latency * 2
+}
+
+/// Worst-case drain time of a full credit queue on a link: `cap` credits at
+/// the metered credit rate (one credit per 1622 byte-times).
+fn credit_drain(link: LinkClass, p: &NetCalcParams) -> Dur {
+    tx_time((CREDIT_SIZE + MAX_FRAME) as u64, link.speed_bps) * p.credit_queue as u64
+}
+
+/// Compute Eq-1 buffer bounds for every port class of `topo`.
+///
+/// The data burst a port must absorb is `spread × data_rate`, where the
+/// paper evaluates `data_rate` at the *server* line rate (the granularity at
+/// which individual credit loops are metered), i.e.
+/// `host_speed · 1538/1622`.
+pub fn buffer_bounds(topo: &HierTopo, p: &NetCalcParams) -> BufferBounds {
+    let nic = DelayBound {
+        d_min: p.dhost_min,
+        d_max: p.dhost_max,
+    };
+    // Data queuing contribution at the NIC is zero: the sender NIC is the
+    // traffic source, paced by the credits themselves.
+    let rt_host = hop_rt(topo.host_link, p);
+    let rt_ta = hop_rt(topo.tor_agg, p);
+    let rt_ac = hop_rt(topo.agg_core, p);
+    let dr_host = credit_drain(topo.host_link, p);
+    let dr_ta = credit_drain(topo.tor_agg, p);
+    let dr_ac = credit_drain(topo.agg_core, p);
+
+    // Credits entering the ToR from an uplink can only go down to NICs.
+    let tor_from_above = DelayBound {
+        d_min: rt_host + nic.d_min,
+        d_max: dr_host + rt_host + nic.d_max,
+    };
+    // Credits entering the Agg from a core can only go down to ToRs.
+    let agg_from_above = DelayBound {
+        d_min: rt_ta + tor_from_above.d_min,
+        d_max: dr_ta + rt_ta + tor_from_above.d_max + tor_from_above.spread(),
+    };
+    // Credits entering a core go down to an agg of another pod.
+    let core_in = DelayBound {
+        d_min: rt_ac + agg_from_above.d_min,
+        d_max: dr_ac + rt_ac + agg_from_above.d_max + agg_from_above.spread(),
+    };
+    // Credits entering the Agg from a ToR may turn down to another ToR or
+    // continue up to a core.
+    let agg_from_below = DelayBound {
+        d_min: (rt_ta + tor_from_above.d_min).min(rt_ac + core_in.d_min),
+        d_max: dr_ta.max(dr_ac)
+            + (rt_ta + tor_from_above.d_max + tor_from_above.spread())
+                .max(rt_ac + core_in.d_max + core_in.spread()),
+    };
+    // Credits entering the ToR from a host may turn down to a sibling NIC
+    // or continue up to an agg.
+    let tor_from_below = DelayBound {
+        d_min: (rt_host + nic.d_min).min(rt_ta + agg_from_below.d_min),
+        d_max: dr_host.max(dr_ta)
+            + (rt_host + nic.d_max)
+                .max(rt_ta + agg_from_below.d_max + agg_from_below.spread()),
+    };
+
+    let data_rate_bps = topo.host_link.speed_bps as f64 * MAX_FRAME as f64
+        / (CREDIT_SIZE + MAX_FRAME) as f64;
+    let to_bytes = |spread: Dur| -> u64 { (spread.as_secs_f64() * data_rate_bps / 8.0) as u64 };
+    let bound = |b: DelayBound| PortBound {
+        spread: b.spread(),
+        buffer_bytes: to_bytes(b.spread()),
+    };
+
+    BufferBounds {
+        name: topo.name.clone(),
+        tor_down: bound(tor_from_below),
+        tor_up: bound(tor_from_above),
+        core: bound(core_in),
+        agg_down: bound(agg_from_below),
+        agg_up: bound(agg_from_above),
+    }
+}
+
+/// Total worst-case data buffer for one ToR switch (Fig 5): the sum over its
+/// down and up ports plus the static per-port credit buffers.
+pub fn tor_switch_total(topo: &HierTopo, p: &NetCalcParams) -> TorBufferBreakdown {
+    let b = buffer_bounds(topo, p);
+    let data_down = b.tor_down.buffer_bytes * topo.tor_down_ports as u64;
+    let data_up = b.tor_up.buffer_bytes * topo.tor_up_ports as u64;
+    let credit_static =
+        (p.credit_queue as u64) * 92 * (topo.tor_down_ports + topo.tor_up_ports) as u64;
+    // Attribution: recompute with zero host spread to isolate its share.
+    let mut p_nohost = *p;
+    p_nohost.dhost_max = p_nohost.dhost_min;
+    let b_nohost = buffer_bounds(topo, &p_nohost);
+    let total_data = data_down + data_up;
+    let nohost_data = b_nohost.tor_down.buffer_bytes * topo.tor_down_ports as u64
+        + b_nohost.tor_up.buffer_bytes * topo.tor_up_ports as u64;
+    TorBufferBreakdown {
+        total_bytes: total_data + credit_static,
+        data_bytes: total_data,
+        credit_static_bytes: credit_static,
+        host_spread_bytes: total_data.saturating_sub(nohost_data),
+    }
+}
+
+/// Fig 5 breakdown of a ToR switch's worst-case buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct TorBufferBreakdown {
+    /// Total bytes (data bound + static credit buffers).
+    pub total_bytes: u64,
+    /// Data buffer bound across all ports.
+    pub data_bytes: u64,
+    /// Static credit-class buffers (tiny).
+    pub credit_static_bytes: u64,
+    /// Portion of the data bound attributable to host delay spread.
+    pub host_spread_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_fat32_10_40_magnitudes() {
+        let b = buffer_bounds(&HierTopo::fat32_10_40(), &NetCalcParams::testbed());
+        // Paper: ToR down 577.3 KB, ToR up 19.0 KB, Core 131.1 KB. The exact
+        // accounting of Eq 1 has ambiguities; we require the same order of
+        // magnitude and the same ordering of classes.
+        let kb = |b: PortBound| b.buffer_bytes as f64 / 1e3;
+        assert!(
+            (300.0..900.0).contains(&kb(b.tor_down)),
+            "ToR down {} KB",
+            kb(b.tor_down)
+        );
+        assert!(
+            (10.0..40.0).contains(&kb(b.tor_up)),
+            "ToR up {} KB",
+            kb(b.tor_up)
+        );
+        assert!(
+            (60.0..260.0).contains(&kb(b.core)),
+            "core {} KB",
+            kb(b.core)
+        );
+        // Class ordering: ToR down ≫ core > ToR up.
+        assert!(b.tor_down.buffer_bytes > b.core.buffer_bytes);
+        assert!(b.core.buffer_bytes > b.tor_up.buffer_bytes);
+    }
+
+    #[test]
+    fn tor_up_close_to_paper_value() {
+        // The ToR-up bound has no recursion ambiguity: drain(8@10G) + host
+        // spread ≈ 15.7us → ~18.6 KB (paper: 19.0 KB).
+        let b = buffer_bounds(&HierTopo::fat32_10_40(), &NetCalcParams::testbed());
+        let kb = b.tor_up.buffer_bytes as f64 / 1e3;
+        assert!((17.0..21.0).contains(&kb), "{kb} KB");
+    }
+
+    #[test]
+    fn clos_matches_fat_tree_per_port() {
+        // Table 1: per-port bounds are identical between the 32-ary fat tree
+        // and the 3-tier Clos at equal speeds.
+        let p = NetCalcParams::testbed();
+        let a = buffer_bounds(&HierTopo::fat32_10_40(), &p);
+        let b = buffer_bounds(&HierTopo::clos_10_40(), &p);
+        assert_eq!(a.tor_down.buffer_bytes, b.tor_down.buffer_bytes);
+        assert_eq!(a.tor_up.buffer_bytes, b.tor_up.buffer_bytes);
+        assert_eq!(a.core.buffer_bytes, b.core.buffer_bytes);
+    }
+
+    #[test]
+    fn buffer_grows_sublinearly_with_speed() {
+        // Paper: 40/100G needs < 4× the 10/40G buffer despite 4× the speed.
+        let p = NetCalcParams::testbed();
+        let b10 = buffer_bounds(&HierTopo::fat32_10_40(), &p);
+        let b40 = buffer_bounds(&HierTopo::fat32_40_100(), &p);
+        let ratio = b40.tor_down.buffer_bytes as f64 / b10.tor_down.buffer_bytes as f64;
+        assert!(
+            ratio > 1.0 && ratio < 4.0,
+            "ToR-down scaling {ratio} not sublinear"
+        );
+    }
+
+    #[test]
+    fn smaller_credit_queue_and_jitter_shrink_buffers() {
+        // Fig 5(b) vs 5(a): NIC-hardware parameters need less buffer.
+        let topo = HierTopo::fat32_10_40();
+        let sw = tor_switch_total(&topo, &NetCalcParams::testbed());
+        let hw = tor_switch_total(&topo, &NetCalcParams::nic_hardware());
+        assert!(hw.total_bytes < sw.total_bytes);
+        assert!(hw.data_bytes < sw.data_bytes);
+    }
+
+    #[test]
+    fn tor_total_fits_in_commodity_buffers() {
+        // Paper: requirements are modest vs 9–16MB shallow-buffer switches
+        // (10G) and 16–256MB (100G).
+        let sw = tor_switch_total(&HierTopo::fat32_10_40(), &NetCalcParams::testbed());
+        assert!(sw.total_bytes < 16_000_000, "{} bytes", sw.total_bytes);
+        let sw100 = tor_switch_total(&HierTopo::fat32_100_100(), &NetCalcParams::testbed());
+        assert!(sw100.total_bytes < 256_000_000, "{} bytes", sw100.total_bytes);
+    }
+
+    #[test]
+    fn breakdown_components_consistent() {
+        let sw = tor_switch_total(&HierTopo::fat32_10_40(), &NetCalcParams::testbed());
+        assert_eq!(
+            sw.total_bytes,
+            sw.data_bytes + sw.credit_static_bytes
+        );
+        assert!(sw.host_spread_bytes < sw.data_bytes);
+        assert!(sw.host_spread_bytes > 0);
+        // Static credit buffers are tiny.
+        assert!(sw.credit_static_bytes < 100_000);
+    }
+
+    #[test]
+    fn spread_positive_everywhere() {
+        let b = buffer_bounds(&HierTopo::fat32_40_100(), &NetCalcParams::testbed());
+        for pb in [b.tor_down, b.tor_up, b.core, b.agg_down, b.agg_up] {
+            assert!(pb.spread > Dur::ZERO);
+            assert!(pb.buffer_bytes > 0);
+        }
+    }
+}

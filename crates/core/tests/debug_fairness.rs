@@ -1,0 +1,136 @@
+use expresspass::*;
+use xpass_net::config::{HostDelayModel, NetConfig};
+use xpass_net::ids::{HostId, Side};
+use xpass_net::network::Network;
+use xpass_net::topology::Topology;
+use xpass_sim::time::{Dur, SimTime};
+
+#[test]
+#[ignore]
+fn dbg_two_flows() {
+    let topo = Topology::dumbbell(2, 10_000_000_000, Dur::us(1));
+    let mut net_cfg = NetConfig::expresspass().with_seed(13);
+    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
+    let a = net.add_flow(HostId(0), HostId(2), 5_000_000, SimTime::ZERO);
+    let b = net.add_flow(HostId(1), HostId(3), 5_000_000, SimTime::ZERO);
+    for step in 0..40 {
+        net.run_until(SimTime::ZERO + Dur::us(250 * (step + 1)));
+        let da = net.delivered_bytes(a);
+        let db = net.delivered_bytes(b);
+        let mut ra = 0.0; let mut rb = 0.0;
+        net.poke(a, Side::Receiver, |ep, _| { ra = ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate(); });
+        net.poke(b, Side::Receiver, |ep, _| { rb = ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate(); });
+        println!("t={}us a={} b={} rate_a={:.0} rate_b={:.0} cdrop={}", 250*(step+1), da, db, ra, rb, net.counters().credits_dropped);
+    }
+}
+
+#[test]
+#[ignore]
+fn dbg_tiny_buffers() {
+    let topo = Topology::star(9, 10_000_000_000, Dur::us(1));
+    let mut cfg = NetConfig::expresspass().with_seed(37);
+    cfg.switch_queue_bytes = 2 * 1538;
+    cfg.host_delay = HostDelayModel::software();
+    let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+    for i in 0..8u32 {
+        net.add_flow(HostId(i), HostId(8), 300_000, SimTime::ZERO);
+    }
+    for step in 0..20 {
+        net.run_until(SimTime::ZERO + Dur::ms(5 * (step + 1)));
+        let d: Vec<u64> = (0..8).map(|i| net.delivered_bytes(xpass_net::ids::FlowId(i))).collect();
+        println!("t={}ms delivered={:?} drops={} cdrops={} done={}", 5*(step+1), d, net.total_data_drops(), net.counters().credits_dropped, net.completed_count());
+    }
+}
+
+#[test]
+#[ignore]
+fn dbg_throughput() {
+    let topo = Topology::dumbbell(1, 10_000_000_000, Dur::us(1));
+    let mut net_cfg = NetConfig::expresspass().with_seed(11);
+    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
+    let f = net.add_flow(HostId(0), HostId(1), 20_000_000, SimTime::ZERO);
+    let mut last = 0u64;
+    for step in 0..10 {
+        net.run_until(SimTime::ZERO + Dur::ms(2 * (step + 1)));
+        let d = net.delivered_bytes(f);
+        let mut rate = 0.0;
+        net.poke(f, Side::Receiver, |ep, _| { rate = ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate(); });
+        println!("t={}ms delta={:.3}Gbps rate={:.0} sent={} dropped={} wasted={}", 2*(step+1),
+            (d - last) as f64 * 8.0 / 0.002 / 1e9, rate,
+            net.counters().credits_sent, net.counters().credits_dropped, net.counters().credits_wasted);
+        last = d;
+    }
+}
+
+#[test]
+#[ignore]
+fn dbg_drop_location() {
+    let topo = Topology::dumbbell(1, 10_000_000_000, Dur::us(1));
+    let mut net_cfg = NetConfig::expresspass().with_seed(11);
+    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
+    net.add_flow(HostId(0), HostId(1), 20_000_000, SimTime::ZERO);
+    net.run_until(SimTime::ZERO + Dur::ms(20));
+    for (i, p) in net.ports().iter().enumerate() {
+        if let Some(cq) = p.credit.as_ref() {
+            if cq.stats.enqueued > 0 || cq.stats.dropped > 0 {
+                let l = &net.topo().dlinks[i];
+                println!("dlink {i} {:?}->{:?}: enq={} drop={} maxq={} tx_credit={}", l.from, l.to, cq.stats.enqueued, cq.stats.dropped, cq.stats.max_bytes, p.tx_credit_bytes / 88);
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn dbg_loss_accounting() {
+    let topo = Topology::dumbbell(1, 10_000_000_000, Dur::us(1));
+    let mut net_cfg = NetConfig::expresspass().with_seed(11);
+    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
+    let f = net.add_flow(HostId(0), HostId(1), 20_000_000, SimTime::ZERO);
+    let mut last_drop = 0u64;
+    let mut last_sent = 0u64;
+    let mut last_rate = 0.0;
+    for step in 0..100 {
+        net.run_until(SimTime::ZERO + Dur::us(100 * (step + 1)));
+        let d = net.counters().credits_dropped;
+        let s = net.counters().credits_sent;
+        let mut rate = 0.0;
+        net.poke(f, Side::Receiver, |ep, _| { rate = ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate(); });
+        if step > 30 {
+            println!("t={}us sent+{} drop+{} rate={:.0} {}", 100*(step+1), s-last_sent, d-last_drop, rate,
+                if rate < last_rate * 0.8 { "<<CRASH" } else { "" });
+        }
+        last_drop = d; last_sent = s; last_rate = rate;
+    }
+}
+
+#[test]
+#[ignore]
+fn dbg_four_flow_fairness() {
+    let topo = Topology::dumbbell(4, 10_000_000_000, Dur::us(8));
+    let mut net_cfg = NetConfig::expresspass().with_seed(41);
+    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
+    let flows: Vec<_> = (0..4).map(|i| net.add_flow(HostId(i), HostId(4 + i), 2_500_000_000, SimTime::ZERO + Dur::us(i as u64 * 37))).collect();
+    let mut last = vec![0u64; 4];
+    for step in 0..35 {
+        net.run_until(SimTime::ZERO + Dur::ms(step + 1));
+        let mut rates = vec![];
+        let mut gbps = vec![];
+        for (i, &f) in flows.iter().enumerate() {
+            let d = net.delivered_bytes(f);
+            gbps.push(format!("{:.2}", (d - last[i]) as f64 * 8.0 / 1e6));
+            last[i] = d;
+            net.poke(f, Side::Receiver, |ep, _| {
+                rates.push(format!("{:.0}k", ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate() / 1e3));
+            });
+        }
+        println!("t={}ms gbps={:?} rates={:?}", step + 1, gbps, rates);
+    }
+}
+
+

@@ -1,0 +1,130 @@
+//! Fig 5 — maximum buffer required for a ToR switch in a 32-ary fat tree,
+//! versus link speed, under two parameter sets: (a) the testbed's 8-credit
+//! queues with ~5.3 µs host delay spread, and (b) a NIC-hardware
+//! implementation with 4-credit queues and 1 µs spread.
+
+use crate::harness::text_table;
+use expresspass::netcalc::{tor_switch_total, HierTopo, NetCalcParams, TorBufferBreakdown};
+use std::fmt;
+
+/// One bar of Fig 5.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// Speed label ("10/40", "40/100", "100/100").
+    pub speeds: &'static str,
+    /// Parameter-set label.
+    pub params: &'static str,
+    /// Buffer breakdown.
+    pub breakdown: TorBufferBreakdown,
+}
+
+/// Fig 5 result.
+#[derive(Clone, Debug)]
+pub struct Fig5 {
+    /// All bars, testbed set first.
+    pub bars: Vec<Bar>,
+}
+
+/// Compute both panels.
+pub fn run() -> Fig5 {
+    let topos = [
+        ("10/40", HierTopo::fat32_10_40()),
+        ("40/100", HierTopo::fat32_40_100()),
+        ("100/100", HierTopo::fat32_100_100()),
+    ];
+    let sets = [
+        ("8cq,5.3us", NetCalcParams::testbed()),
+        ("4cq,1us", NetCalcParams::nic_hardware()),
+    ];
+    let mut bars = Vec::new();
+    for (pname, p) in sets {
+        for (sname, topo) in &topos {
+            bars.push(Bar {
+                speeds: sname,
+                params: pname,
+                breakdown: tor_switch_total(topo, &p),
+            });
+        }
+    }
+    Fig5 { bars }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mb = |b: u64| format!("{:.2}MB", b as f64 / 1e6);
+        let rows: Vec<Vec<String>> = self
+            .bars
+            .iter()
+            .map(|b| {
+                vec![
+                    b.params.to_string(),
+                    b.speeds.to_string(),
+                    mb(b.breakdown.total_bytes),
+                    mb(b.breakdown.data_bytes),
+                    format!("{:.1}KB", b.breakdown.credit_static_bytes as f64 / 1e3),
+                    mb(b.breakdown.host_spread_bytes),
+                ]
+            })
+            .collect();
+        writeln!(f, "Fig 5: max ToR buffer, 32-ary fat tree")?;
+        write!(
+            f,
+            "{}",
+            text_table(
+                &["Params", "Link/Core", "Total", "Data bound", "Credit buf", "Host-spread part"],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_complete() {
+        let r = run();
+        assert_eq!(r.bars.len(), 6);
+    }
+
+    #[test]
+    fn grows_with_speed_sublinearly() {
+        let r = run();
+        // Within the testbed set: 10/40 < 40/100 < 100/100... the paper
+        // shows growth with speed; require monotone total.
+        let t: Vec<u64> = r.bars[..3].iter().map(|b| b.breakdown.total_bytes).collect();
+        assert!(t[0] < t[1], "{t:?}");
+        // 4x speed increase needs < 4x buffer (sublinear, §3.1).
+        assert!((t[1] as f64) < (t[0] as f64) * 4.0, "{t:?}");
+    }
+
+    #[test]
+    fn hardware_set_needs_less() {
+        let r = run();
+        for i in 0..3 {
+            assert!(
+                r.bars[3 + i].breakdown.total_bytes < r.bars[i].breakdown.total_bytes,
+                "hardware set should shrink bar {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn magnitudes_match_figure() {
+        // Fig 5a shows order-10MB totals for the testbed set at 10/40G.
+        let r = run();
+        let total = r.bars[0].breakdown.total_bytes;
+        assert!(
+            (2_000_000..40_000_000).contains(&total),
+            "total {total} bytes"
+        );
+    }
+
+    #[test]
+    fn renders() {
+        let s = run().to_string();
+        assert!(s.contains("Fig 5"));
+        assert!(s.contains("10/40"));
+    }
+}

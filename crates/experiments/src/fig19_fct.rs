@@ -1,0 +1,176 @@
+//! Fig 19 — average and 99th-percentile FCT per flow-size bucket for the
+//! realistic workloads at load 0.6, across the five schemes (ExpressPass,
+//! RCP, DCTCP, DX, HULL) on the 192-host 3:1 fat tree.
+//!
+//! Paper shape: ExpressPass wins S and M buckets (1.3–5.1× faster average
+//! than DCTCP, more at the tail); DCTCP/RCP win L and XL (ExpressPass pays
+//! its ~5 % bandwidth reservation and credit waste).
+//!
+//! The scaled default runs fewer flows on the lighter workloads;
+//! `paper_scale()` uses 100k flows including Data Mining.
+
+use crate::harness::{fmt_secs, text_table, RealisticRun, Scheme, SizeBucket};
+use std::fmt;
+use xpass_workloads::Workload;
+
+/// Fig 19 configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workloads and per-workload flow counts.
+    pub workloads: Vec<(Workload, usize)>,
+    /// Target load.
+    pub load: f64,
+    /// Link speed.
+    pub link_bps: u64,
+    /// Schemes (defaults to the paper's five).
+    pub schemes: Vec<Scheme>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            workloads: vec![
+                (Workload::WebServer, 3000),
+                (Workload::CacheFollower, 1200),
+                (Workload::WebSearch, 600),
+            ],
+            load: 0.6,
+            link_bps: 10_000_000_000,
+            schemes: Scheme::comparison_set(),
+            seed: 53,
+        }
+    }
+}
+
+impl Config {
+    /// The paper's configuration (100k flows, all heavy workloads).
+    pub fn paper_scale() -> Config {
+        Config {
+            workloads: vec![
+                (Workload::WebServer, 100_000),
+                (Workload::CacheFollower, 100_000),
+                (Workload::WebSearch, 100_000),
+                (Workload::DataMining, 100_000),
+            ],
+            ..Config::default()
+        }
+    }
+}
+
+/// One (workload, scheme) cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// (avg, p99) per bucket, seconds.
+    pub buckets: [(f64, f64); 4],
+    /// Unfinished flows.
+    pub unfinished: usize,
+}
+
+/// Fig 19 result.
+#[derive(Clone, Debug)]
+pub struct Fig19 {
+    /// All cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Run the grid.
+pub fn run(cfg: &Config) -> Fig19 {
+    let mut cells = Vec::new();
+    for &(w, n) in &cfg.workloads {
+        for &scheme in &cfg.schemes {
+            let r = RealisticRun {
+                workload: w,
+                load: cfg.load,
+                n_flows: n,
+                link_bps: cfg.link_bps,
+                scheme,
+                seed: cfg.seed,
+            }
+            .run();
+            let mut fct = r.fct.clone();
+            let buckets = SizeBucket::all().map(|b| (fct.avg(b), fct.p99(b)));
+            cells.push(Cell {
+                workload: w.name(),
+                scheme: scheme.name(),
+                buckets,
+                unfinished: r.unfinished,
+            });
+        }
+    }
+    Fig19 { cells }
+}
+
+impl fmt::Display for Fig19 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 19: avg / 99% FCT per size bucket (load 0.6)")?;
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut row = vec![c.workload.to_string(), c.scheme.to_string()];
+                for (avg, p99) in c.buckets {
+                    row.push(format!("{}/{}", fmt_secs(avg), fmt_secs(p99)));
+                }
+                row.push(c.unfinished.to_string());
+                row
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            text_table(
+                &["Workload", "Scheme", "S", "M", "L", "XL", "unfin"],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config {
+            workloads: vec![(Workload::WebServer, 600)],
+            schemes: vec![
+                Scheme::XPass(expresspass::XPassConfig::default()),
+                Scheme::Dctcp,
+            ],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn expresspass_wins_small_flows() {
+        let r = run(&quick());
+        let xp = &r.cells[0];
+        let dc = &r.cells[1];
+        assert_eq!(xp.unfinished, 0);
+        assert_eq!(dc.unfinished, 0);
+        // S-bucket average: ExpressPass at least comparable, typically
+        // faster (paper: 1.3–5.1x faster).
+        let (xp_s, _) = xp.buckets[0];
+        let (dc_s, _) = dc.buckets[0];
+        assert!(
+            xp_s < dc_s * 1.3,
+            "S avg: xpass {} vs dctcp {}",
+            fmt_secs(xp_s),
+            fmt_secs(dc_s)
+        );
+    }
+
+    #[test]
+    fn renders() {
+        let r = run(&quick());
+        let s = r.to_string();
+        assert!(s.contains("Fig 19"));
+        assert!(s.contains("ExpressPass"));
+    }
+}

@@ -1,0 +1,553 @@
+//! Shared experiment machinery: scheme selection, FCT bucketing,
+//! convergence detection, and text-table rendering.
+
+use expresspass::{xpass_factory, XPassConfig};
+use xpass_baselines::{
+    cubic_factory, dctcp_factory, dx_factory, hull_factory, ideal_factory, naive_credit_factory,
+    rcp_factory, reno_factory, MaxMinOracle,
+};
+use xpass_net::config::{HostDelayModel, NetConfig};
+use xpass_net::endpoint::EndpointFactory;
+use xpass_net::ids::FlowId;
+use xpass_net::network::{FlowRecord, Network};
+use xpass_net::topology::Topology;
+use xpass_sim::stats::Percentiles;
+use xpass_workloads;
+use xpass_sim::time::{Dur, SimTime};
+
+/// A congestion-control scheme under test.
+#[derive(Clone, Copy, Debug)]
+pub enum Scheme {
+    /// ExpressPass with the given parameters.
+    XPass(XPassConfig),
+    /// DCTCP (ECN threshold K scaled to link speed).
+    Dctcp,
+    /// RCP explicit rates.
+    Rcp,
+    /// HULL phantom queues.
+    Hull,
+    /// DX delay feedback.
+    Dx,
+    /// TCP CUBIC.
+    Cubic,
+    /// TCP Reno.
+    Reno,
+    /// Credits at maximum rate, no feedback (§2's naïve scheme).
+    NaiveCredit,
+    /// Omniscient max-min rate oracle (§2's ideal rate control).
+    Ideal,
+}
+
+impl Scheme {
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::XPass(_) => "ExpressPass",
+            Scheme::Dctcp => "DCTCP",
+            Scheme::Rcp => "RCP",
+            Scheme::Hull => "HULL",
+            Scheme::Dx => "DX",
+            Scheme::Cubic => "CUBIC",
+            Scheme::Reno => "Reno",
+            Scheme::NaiveCredit => "NaiveCredit",
+            Scheme::Ideal => "Ideal",
+        }
+    }
+
+    /// The paper's five-way FCT comparison set (Fig 19, Table 3).
+    pub fn comparison_set() -> Vec<Scheme> {
+        vec![
+            Scheme::XPass(XPassConfig::default()),
+            Scheme::Rcp,
+            Scheme::Dctcp,
+            Scheme::Dx,
+            Scheme::Hull,
+        ]
+    }
+
+    /// Network configuration for this scheme at a given link speed.
+    pub fn net_config(&self, link_bps: u64) -> NetConfig {
+        let cfg = match self {
+            Scheme::XPass(_) | Scheme::NaiveCredit => NetConfig::expresspass(),
+            Scheme::Dctcp => NetConfig::dctcp(link_bps),
+            Scheme::Rcp => NetConfig::rcp(),
+            Scheme::Hull => NetConfig::hull(link_bps),
+            Scheme::Dx | Scheme::Cubic | Scheme::Reno | Scheme::Ideal => NetConfig::default(),
+        };
+        let mut cfg = cfg.with_queue_for_speed(link_bps);
+        // ~1 µs mean host delay (the paper's simulation setting) with a
+        // ±0.5 µs spread: real hosts are never perfectly deterministic, and
+        // a little delay noise prevents artificial phase locks (e.g. an
+        // ack-clocked sender monopolizing every drain slot of a full
+        // drop-tail queue forever).
+        cfg.host_delay = HostDelayModel::hardware();
+        cfg
+    }
+
+    /// Endpoint factory for this scheme.
+    pub fn factory(&self, link_bps: u64) -> EndpointFactory {
+        match self {
+            Scheme::XPass(x) => xpass_factory(*x),
+            Scheme::Dctcp => dctcp_factory(link_bps),
+            Scheme::Rcp => rcp_factory(),
+            Scheme::Hull => hull_factory(link_bps),
+            Scheme::Dx => dx_factory(),
+            Scheme::Cubic => cubic_factory(),
+            Scheme::Reno => reno_factory(),
+            Scheme::NaiveCredit => naive_credit_factory(),
+            Scheme::Ideal => ideal_factory(1e9),
+        }
+    }
+
+    /// Build a ready-to-run network for this scheme (installs the max-min
+    /// oracle controller for [`Scheme::Ideal`]).
+    pub fn build(&self, topo: Topology, link_bps: u64, seed: u64) -> Network {
+        let cfg = self.net_config(link_bps).with_seed(seed);
+        let mut net = Network::new(topo, cfg, self.factory(link_bps));
+        if matches!(self, Scheme::Ideal) {
+            net.set_controller(Box::new(MaxMinOracle::new(0.95)));
+        }
+        net
+    }
+}
+
+/// The paper's flow-size buckets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SizeBucket {
+    /// 0–10 KB.
+    S,
+    /// 10–100 KB.
+    M,
+    /// 100 KB–1 MB.
+    L,
+    /// > 1 MB.
+    Xl,
+}
+
+impl SizeBucket {
+    /// Bucket of a flow size.
+    pub fn of(bytes: u64) -> SizeBucket {
+        if bytes <= 10_000 {
+            SizeBucket::S
+        } else if bytes <= 100_000 {
+            SizeBucket::M
+        } else if bytes <= 1_000_000 {
+            SizeBucket::L
+        } else {
+            SizeBucket::Xl
+        }
+    }
+
+    /// All buckets, in order.
+    pub fn all() -> [SizeBucket; 4] {
+        [SizeBucket::S, SizeBucket::M, SizeBucket::L, SizeBucket::Xl]
+    }
+
+    /// Bucket label as in the paper ("S", "M", "L", "XL").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SizeBucket::S => "S",
+            SizeBucket::M => "M",
+            SizeBucket::L => "L",
+            SizeBucket::Xl => "XL",
+        }
+    }
+}
+
+/// FCT statistics per size bucket.
+#[derive(Clone, Debug, Default)]
+pub struct FctBuckets {
+    per_bucket: [Percentiles; 4],
+    unfinished: usize,
+}
+
+impl FctBuckets {
+    /// Aggregate FCTs from completed flow records.
+    pub fn from_records(records: &[FlowRecord]) -> FctBuckets {
+        let mut b = FctBuckets::default();
+        for r in records {
+            match r.fct {
+                Some(fct) => {
+                    let idx = match SizeBucket::of(r.size_bytes) {
+                        SizeBucket::S => 0,
+                        SizeBucket::M => 1,
+                        SizeBucket::L => 2,
+                        SizeBucket::Xl => 3,
+                    };
+                    b.per_bucket[idx].add(fct.as_secs_f64());
+                }
+                None => b.unfinished += 1,
+            }
+        }
+        b
+    }
+
+    fn idx(bucket: SizeBucket) -> usize {
+        match bucket {
+            SizeBucket::S => 0,
+            SizeBucket::M => 1,
+            SizeBucket::L => 2,
+            SizeBucket::Xl => 3,
+        }
+    }
+
+    /// Average FCT (seconds) in a bucket.
+    pub fn avg(&self, bucket: SizeBucket) -> f64 {
+        self.per_bucket[Self::idx(bucket)].mean()
+    }
+
+    /// 99th-percentile FCT (seconds) in a bucket.
+    pub fn p99(&mut self, bucket: SizeBucket) -> f64 {
+        self.per_bucket[Self::idx(bucket)].p99()
+    }
+
+    /// Flows counted in a bucket.
+    pub fn count(&self, bucket: SizeBucket) -> usize {
+        self.per_bucket[Self::idx(bucket)].count()
+    }
+
+    /// Flows that never finished (should be zero in healthy runs).
+    pub fn unfinished(&self) -> usize {
+        self.unfinished
+    }
+
+    /// FCT percentiles over all buckets combined.
+    pub fn overall(&self) -> Percentiles {
+        let mut all = Percentiles::new();
+        for r in &self.per_bucket {
+            let mut c = r.clone();
+            // Merge by draining the sorted view.
+            let n = c.count();
+            for i in 0..n {
+                all.add(c.quantile((i as f64 + 1.0) / n as f64));
+            }
+        }
+        all
+    }
+}
+
+/// Detect when a tracked flow's throughput converged to a band around the
+/// fair share: the first sample time at which the rolling mean over
+/// `window` samples lies within `tol` of `fair_gbps` (the rolling mean
+/// absorbs the deliberate rate oscillation of the feedback loops).
+/// Returns time since `t0`.
+pub fn convergence_time(
+    net: &Network,
+    flow: FlowId,
+    t0: SimTime,
+    fair_gbps: f64,
+    tol: f64,
+    window: usize,
+) -> Option<Dur> {
+    let series = net.flow_series(flow)?;
+    let samples: Vec<(SimTime, f64)> = series
+        .samples
+        .iter()
+        .filter(|&&(t, _)| t >= t0)
+        .copied()
+        .collect();
+    if samples.len() < window {
+        return None;
+    }
+    // Sustained convergence: find the LAST window whose mean is outside the
+    // band; convergence is the start of the next window. A transient
+    // crossing during ramp-up therefore does not count.
+    let n_windows = samples.len() - window + 1;
+    let in_band = |i: usize| {
+        let mean: f64 =
+            samples[i..i + window].iter().map(|&(_, v)| v).sum::<f64>() / window as f64;
+        (mean - fair_gbps).abs() <= tol * fair_gbps
+    };
+    if !in_band(n_windows - 1) {
+        return None; // not converged by the end of the observation
+    }
+    let mut first_sustained = n_windows - 1;
+    while first_sustained > 0 && in_band(first_sustained - 1) {
+        first_sustained -= 1;
+    }
+    Some(samples[first_sustained].0.since(t0))
+}
+
+/// One realistic-workload simulation (the §6.3 setup): Poisson arrivals of
+/// a Table-2 workload on the 192-host 3:1 fat tree, one scheme, one load.
+/// Shared by Figs 18–21 and Table 3.
+#[derive(Clone, Debug)]
+pub struct RealisticRun {
+    /// Flow-size workload.
+    pub workload: xpass_workloads::Workload,
+    /// Target ToR-uplink load.
+    pub load: f64,
+    /// Flows to simulate (paper: 100k; scaled defaults use fewer).
+    pub n_flows: usize,
+    /// Link speed (all tiers; the paper compares 10 G vs 40 G).
+    pub link_bps: u64,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Outcome of a [`RealisticRun`].
+#[derive(Clone, Debug)]
+pub struct RealisticResult {
+    /// FCT statistics per size bucket.
+    pub fct: FctBuckets,
+    /// Mean of per-switch-port time-weighted queue occupancy (bytes).
+    pub avg_queue_bytes: f64,
+    /// Maximum instantaneous switch queue (bytes).
+    pub max_queue_bytes: u64,
+    /// Credits sent (credit schemes only).
+    pub credits_sent: u64,
+    /// Credits wasted at senders (credit schemes only).
+    pub credits_wasted: u64,
+    /// Data packets dropped.
+    pub data_drops: u64,
+    /// Flows that did not complete within the run cap.
+    pub unfinished: usize,
+}
+
+impl RealisticRun {
+    /// Execute the run.
+    pub fn run(&self) -> RealisticResult {
+        let topo = Topology::eval_fat_tree(self.link_bps);
+        let mut net = self.scheme.build(topo.clone(), self.link_bps, self.seed);
+        let wl = xpass_workloads::PoissonWorkload::new(
+            self.workload.dist(),
+            self.load,
+            self.n_flows,
+            self.seed ^ 0xABCD,
+        );
+        let specs = wl.generate(&topo);
+        xpass_workloads::add_all(&mut net, &specs);
+        let last_start = specs.last().unwrap().start;
+        net.run_until_done(last_start + Dur::secs(10));
+        net.finish_stats();
+        let fct = FctBuckets::from_records(&net.flow_records());
+        let mut qsum = 0.0;
+        let mut nports = 0usize;
+        for p in net.ports() {
+            if matches!(
+                net.topo().dlinks[p.dlink.0 as usize].from,
+                xpass_net::ids::NodeId::Switch(_)
+            ) {
+                qsum += p.data.stats.occupancy.mean();
+                nports += 1;
+            }
+        }
+        RealisticResult {
+            unfinished: fct.unfinished(),
+            avg_queue_bytes: if nports > 0 { qsum / nports as f64 } else { 0.0 },
+            max_queue_bytes: net.max_switch_queue_bytes(),
+            credits_sent: net.counters().credits_sent,
+            credits_wasted: net.counters().credits_wasted,
+            data_drops: net.counters().data_dropped,
+            fct,
+        }
+    }
+}
+
+/// Cumulative-average variant of [`convergence_time`]: the last time the
+/// running average throughput since `t0` enters the band and stays there.
+/// The cumulative average is smooth by construction, which makes this
+/// metric robust for loss-based protocols whose instantaneous rate is a
+/// deep sawtooth (TCP CUBIC/Reno); it slightly over-estimates convergence
+/// time because early slow samples keep dragging on the average.
+pub fn convergence_time_cumulative(
+    net: &Network,
+    flow: FlowId,
+    t0: SimTime,
+    fair_gbps: f64,
+    tol: f64,
+) -> Option<Dur> {
+    let series = net.flow_series(flow)?;
+    let samples: Vec<(SimTime, f64)> = series
+        .samples
+        .iter()
+        .filter(|&&(t, _)| t >= t0)
+        .copied()
+        .collect();
+    if samples.is_empty() {
+        return None;
+    }
+    let mut cum = Vec::with_capacity(samples.len());
+    let mut acc = 0.0;
+    for (i, &(t, v)) in samples.iter().enumerate() {
+        acc += v;
+        cum.push((t, acc / (i + 1) as f64));
+    }
+    let in_band = |v: f64| (v - fair_gbps).abs() <= tol * fair_gbps;
+    if !in_band(cum.last().unwrap().1) {
+        return None;
+    }
+    let mut first = cum.len() - 1;
+    while first > 0 && in_band(cum[first - 1].1) {
+        first -= 1;
+    }
+    Some(cum[first].0.since(t0))
+}
+
+/// Render rows as a fixed-width text table.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Format seconds with an adaptive unit (for FCT tables).
+pub fn fmt_secs(s: f64) -> String {
+    if s <= 0.0 {
+        "-".into()
+    } else if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}s", s)
+    }
+}
+
+/// Format bytes with an adaptive unit.
+pub fn fmt_bytes(b: f64) -> String {
+    if b >= 1e6 {
+        format!("{:.2}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1}KB", b / 1e3)
+    } else {
+        format!("{:.0}B", b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpass_net::ids::HostId;
+
+    #[test]
+    fn size_buckets() {
+        assert_eq!(SizeBucket::of(1), SizeBucket::S);
+        assert_eq!(SizeBucket::of(10_000), SizeBucket::S);
+        assert_eq!(SizeBucket::of(10_001), SizeBucket::M);
+        assert_eq!(SizeBucket::of(100_001), SizeBucket::L);
+        assert_eq!(SizeBucket::of(2_000_000), SizeBucket::Xl);
+    }
+
+    #[test]
+    fn fct_bucketing() {
+        let recs = vec![
+            FlowRecord {
+                id: FlowId(0),
+                src: HostId(0),
+                dst: HostId(1),
+                size_bytes: 5_000,
+                start: SimTime::ZERO,
+                fct: Some(Dur::us(100)),
+                credits_sent: 0,
+                credits_wasted: 0,
+            },
+            FlowRecord {
+                id: FlowId(1),
+                src: HostId(0),
+                dst: HostId(1),
+                size_bytes: 5_000_000,
+                start: SimTime::ZERO,
+                fct: Some(Dur::ms(5)),
+                credits_sent: 0,
+                credits_wasted: 0,
+            },
+            FlowRecord {
+                id: FlowId(2),
+                src: HostId(0),
+                dst: HostId(1),
+                size_bytes: 500,
+                start: SimTime::ZERO,
+                fct: None,
+                credits_sent: 0,
+                credits_wasted: 0,
+            },
+        ];
+        let mut b = FctBuckets::from_records(&recs);
+        assert_eq!(b.count(SizeBucket::S), 1);
+        assert_eq!(b.count(SizeBucket::Xl), 1);
+        assert_eq!(b.unfinished(), 1);
+        assert!((b.avg(SizeBucket::S) - 100e-6).abs() < 1e-12);
+        assert!((b.p99(SizeBucket::Xl) - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schemes_build_networks() {
+        let speed = 10_000_000_000;
+        for scheme in [
+            Scheme::XPass(XPassConfig::default()),
+            Scheme::Dctcp,
+            Scheme::Rcp,
+            Scheme::Hull,
+            Scheme::Dx,
+            Scheme::Cubic,
+            Scheme::Reno,
+            Scheme::NaiveCredit,
+            Scheme::Ideal,
+        ] {
+            let topo = Topology::dumbbell(2, speed, Dur::us(1));
+            let net = scheme.build(topo, speed, 1);
+            assert_eq!(net.flow_count(), 0);
+            // Credit class only for the credit schemes.
+            let has_credit = net.port(xpass_net::ids::DLinkId(0)).credit.is_some();
+            match scheme {
+                Scheme::XPass(_) | Scheme::NaiveCredit => assert!(has_credit),
+                _ => assert!(!has_credit),
+            }
+        }
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = text_table(
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        assert!(t.contains("a    bbbb"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(0.0), "-");
+        assert_eq!(fmt_secs(50e-6), "50.0us");
+        assert_eq!(fmt_secs(0.0123), "12.30ms");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_bytes(500.0), "500B");
+        assert_eq!(fmt_bytes(1_500.0), "1.5KB");
+        assert_eq!(fmt_bytes(2_000_000.0), "2.00MB");
+    }
+}

@@ -1,0 +1,58 @@
+//! # xpass-experiments — reproduction of every table and figure
+//!
+//! One module per experiment in the paper's evaluation. Each module
+//! exposes a config struct (with a scaled `default()` that runs in seconds
+//! and, where relevant, a `paper_scale()` with the paper's full
+//! parameters), a `run()` returning typed rows, and `Display` rendering
+//! that prints the same rows/series the paper reports.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig01_queue_buildup`] | Fig 1 — queue vs flow count, ideal/DCTCP/credit |
+//! | [`fig02_naive_convergence`] | Fig 2 — naïve credit vs CUBIC vs DCTCP |
+//! | [`table1_buffer_bounds`] | Table 1 — network-calculus buffer bounds |
+//! | [`fig05_buffer_breakdown`] | Fig 5 — ToR buffer vs link speed |
+//! | [`fig06_jitter_fairness`] | Fig 6a — pacing jitter vs fairness |
+//! | [`fig14_host_model`] | Fig 6b / Fig 14 — credit gap & host delay CDFs |
+//! | [`fig08_init_rate_tradeoff`] | Fig 8 — convergence vs credit waste |
+//! | [`fig09_credit_queue_capacity`] | Fig 9 — credit queue size vs utilization |
+//! | [`fig10_parking_lot`] | Fig 10 — multi-bottleneck utilization |
+//! | [`fig11_multi_bottleneck`] | Fig 11 — multi-bottleneck fairness |
+//! | [`fig12_steady_state`] | Fig 12 — feedback convergence trace (§4 model) |
+//! | [`fig13_convergence_trace`] | Fig 13 — five staggered flows, queue trace |
+//! | [`fig15_flow_scalability`] | Fig 15 — utilization/fairness/queue vs N |
+//! | [`fig16_convergence`] | Fig 16 — convergence time at 10/100 G |
+//! | [`fig17_shuffle`] | Fig 17 — shuffle FCT distribution |
+//! | [`fig18_param_sensitivity`] | Fig 18 — 99 %-ile FCT vs (α, w_init) |
+//! | [`fig19_fct`] | Fig 19 — FCT per size bucket, five schemes |
+//! | [`fig20_credit_waste`] | Fig 20 — credit waste ratio |
+//! | [`fig21_speedup`] | Fig 21 — 40 G over 10 G FCT speed-up |
+//! | [`table3_queue`] | Table 3 — queue occupancy by scheme/workload/load |
+//! | [`ablations`] | design-choice ablations (drop policy, routing, §7 features) |
+
+
+#![warn(missing_docs)]
+pub mod ablations;
+pub mod fig01_queue_buildup;
+pub mod fig02_naive_convergence;
+pub mod fig05_buffer_breakdown;
+pub mod fig06_jitter_fairness;
+pub mod fig08_init_rate_tradeoff;
+pub mod fig09_credit_queue_capacity;
+pub mod fig10_parking_lot;
+pub mod fig11_multi_bottleneck;
+pub mod fig12_steady_state;
+pub mod fig13_convergence_trace;
+pub mod fig14_host_model;
+pub mod fig15_flow_scalability;
+pub mod fig16_convergence;
+pub mod fig17_shuffle;
+pub mod fig18_param_sensitivity;
+pub mod fig19_fct;
+pub mod fig20_credit_waste;
+pub mod fig21_speedup;
+pub mod harness;
+pub mod table1_buffer_bounds;
+pub mod table3_queue;
+
+pub use harness::{FctBuckets, Scheme, SizeBucket};

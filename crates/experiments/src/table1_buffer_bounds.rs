@@ -1,0 +1,128 @@
+//! Table 1 — required buffer for zero data loss, per port class, for the
+//! paper's four topology rows (computed by the Eq-1 network calculus).
+
+use crate::harness::text_table;
+use expresspass::netcalc::{buffer_bounds, HierTopo, NetCalcParams};
+use std::fmt;
+
+/// One Table 1 row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Topology label.
+    pub topology: String,
+    /// ToR down-port bound (bytes) and the paper's value.
+    pub tor_down: (u64, f64),
+    /// ToR up-port bound (bytes) and the paper's value.
+    pub tor_up: (u64, f64),
+    /// Core-port bound (bytes) and the paper's value.
+    pub core: (u64, f64),
+}
+
+/// Table 1 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// All four topology rows.
+    pub rows: Vec<Row>,
+}
+
+/// Compute the table with the paper's testbed parameters.
+pub fn run() -> Table1 {
+    let p = NetCalcParams::testbed();
+    let cases: [(HierTopo, [f64; 3]); 4] = [
+        (HierTopo::fat32_10_40(), [577_300.0, 19_000.0, 131_100.0]),
+        (HierTopo::fat32_40_100(), [1_060_000.0, 37_200.0, 221_800.0]),
+        (HierTopo::clos_10_40(), [577_300.0, 19_000.0, 131_100.0]),
+        (HierTopo::clos_40_100(), [1_060_000.0, 37_200.0, 221_800.0]),
+    ];
+    let rows = cases
+        .into_iter()
+        .map(|(topo, paper)| {
+            let b = buffer_bounds(&topo, &p);
+            Row {
+                topology: topo.name.clone(),
+                tor_down: (b.tor_down.buffer_bytes, paper[0]),
+                tor_up: (b.tor_up.buffer_bytes, paper[1]),
+                core: (b.core.buffer_bytes, paper[2]),
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kb = |b: u64| format!("{:.1}KB", b as f64 / 1e3);
+        let pkb = |b: f64| format!("{:.1}KB", b / 1e3);
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.topology.clone(),
+                    kb(r.tor_down.0),
+                    pkb(r.tor_down.1),
+                    kb(r.tor_up.0),
+                    pkb(r.tor_up.1),
+                    kb(r.core.0),
+                    pkb(r.core.1),
+                ]
+            })
+            .collect();
+        writeln!(f, "Table 1: required buffer per port class (ours vs paper)")?;
+        write!(
+            f,
+            "{}",
+            text_table(
+                &[
+                    "Topology",
+                    "ToR down",
+                    "(paper)",
+                    "ToR up",
+                    "(paper)",
+                    "Core",
+                    "(paper)"
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_present_and_shaped() {
+        let t = run();
+        assert_eq!(t.rows.len(), 4);
+        for r in &t.rows {
+            // Class ordering matches the paper: down ≫ core > up.
+            assert!(r.tor_down.0 > r.core.0);
+            assert!(r.core.0 > r.tor_up.0);
+            // Same order of magnitude as the paper's numbers.
+            for (ours, paper) in [r.tor_down, r.tor_up, r.core] {
+                let ratio = ours as f64 / paper;
+                assert!(
+                    (0.3..4.0).contains(&ratio),
+                    "{}: {ours} vs paper {paper}",
+                    r.topology
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clos_rows_equal_fat_tree_rows() {
+        let t = run();
+        assert_eq!(t.rows[0].tor_down.0, t.rows[2].tor_down.0);
+        assert_eq!(t.rows[1].core.0, t.rows[3].core.0);
+    }
+
+    #[test]
+    fn renders() {
+        let s = run().to_string();
+        assert!(s.contains("ToR down"));
+        assert!(s.contains("32-ary fat tree"));
+    }
+}

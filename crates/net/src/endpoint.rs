@@ -1,0 +1,214 @@
+//! The `Endpoint` trait every congestion-control protocol implements, and
+//! the `Ctx` handle endpoints act through.
+//!
+//! A flow has two endpoints — a sender at the source host and a receiver at
+//! the destination — each a boxed `Endpoint`. The network delivers three
+//! kinds of callbacks: `on_start` (flow activation), `on_packet` (a packet
+//! addressed to this endpoint arrived, after host processing delay), and
+//! `on_timer` (a timer armed via [`Ctx::arm_timer`] fired).
+//!
+//! The same structure serves ExpressPass (where the *receiver* is the active
+//! party, pacing credits) and the window/rate baselines (where the sender
+//! is).
+
+use crate::ids::{FlowId, HostId, Side};
+use crate::network::Network;
+use crate::packet::{Packet, PktKind};
+use std::any::Any;
+use xpass_sim::rng::Rng;
+use xpass_sim::time::{Dur, SimTime};
+
+/// Immutable per-flow facts available to endpoints.
+#[derive(Clone, Debug)]
+pub struct FlowInfo {
+    /// Flow id.
+    pub id: FlowId,
+    /// Data source host.
+    pub src: HostId,
+    /// Data destination host.
+    pub dst: HostId,
+    /// Application bytes to transfer.
+    pub size_bytes: u64,
+    /// Scheduled start time.
+    pub start: SimTime,
+    /// Traffic class (0 = highest priority; see §7 multi-class credits).
+    pub class: u8,
+}
+
+/// A congestion-control protocol endpoint (one side of one flow).
+pub trait Endpoint {
+    /// The flow has started (fires at `FlowInfo::start` on both sides).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// A packet addressed to this endpoint arrived.
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>);
+
+    /// A timer armed with [`Ctx::arm_timer`] fired. `gen` is the arming
+    /// generation; compare against the latest armed generation to ignore
+    /// stale timers (see [`TimerSlot`]).
+    fn on_timer(&mut self, kind: u8, gen: u64, ctx: &mut Ctx<'_>);
+
+    /// Downcasting hook for out-of-band control (e.g. the ideal-rate oracle
+    /// setting sender rates).
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// Constructor for protocol endpoints: called once per flow per side.
+pub type EndpointFactory = Box<dyn Fn(Side, &FlowInfo) -> Box<dyn Endpoint>>;
+
+/// The capability handle endpoints act through. Wraps the network with the
+/// identity of the flow/side being called back.
+pub struct Ctx<'a> {
+    pub(crate) net: &'a mut Network,
+    /// The flow this callback concerns.
+    pub flow: FlowId,
+    /// The side being called back.
+    pub side: Side,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// The run's RNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        self.net.rng()
+    }
+
+    /// Flow facts.
+    pub fn info(&self) -> &FlowInfo {
+        self.net.flow_info(self.flow)
+    }
+
+    /// The host this endpoint lives on.
+    pub fn local_host(&self) -> HostId {
+        let info = self.info();
+        match self.side {
+            Side::Sender => info.src,
+            Side::Receiver => info.dst,
+        }
+    }
+
+    /// Line rate of this endpoint's host uplink, in bits/s. Protocols use
+    /// this as `max_rate` (the paper assumes uniform host link speeds, §7).
+    pub fn host_link_bps(&self) -> u64 {
+        self.net.host_link_bps(self.local_host())
+    }
+
+    /// A packet template originating at this endpoint, addressed to the
+    /// peer, with `t_sent` stamped.
+    pub fn make_pkt(&self, kind: PktKind, size: u32) -> Packet {
+        let info = self.info();
+        let (src, dst) = match self.side {
+            Side::Sender => (info.src, info.dst),
+            Side::Receiver => (info.dst, info.src),
+        };
+        let mut p = Packet::new(self.flow, src, dst, kind, size);
+        p.t_sent = self.now();
+        p.class = info.class;
+        p
+    }
+
+    /// Emit a packet from this endpoint's host NIC.
+    pub fn send(&mut self, pkt: Packet) {
+        debug_assert_eq!(pkt.src, self.local_host(), "packet src must be local host");
+        self.net.host_emit(pkt);
+    }
+
+    /// Arm a timer; returns the arming generation to match in `on_timer`.
+    pub fn arm_timer(&mut self, kind: u8, delay: Dur) -> u64 {
+        self.net.arm_timer(self.flow, self.side, kind, delay)
+    }
+
+    /// Receiver side: record `bytes` of in-order application data delivered.
+    /// Completion (and FCT) is recorded when the cumulative total reaches
+    /// the flow size.
+    pub fn deliver(&mut self, bytes: u64) {
+        debug_assert_eq!(self.side, Side::Receiver, "only receivers deliver data");
+        self.net.deliver(self.flow, bytes);
+    }
+
+    /// Application bytes delivered so far (receiver-side progress).
+    pub fn delivered_bytes(&self) -> u64 {
+        self.net.delivered_bytes(self.flow)
+    }
+
+    /// True once the flow has fully delivered.
+    pub fn flow_done(&self) -> bool {
+        self.net.flow_done(self.flow)
+    }
+
+    /// Sender side: account a credit that arrived but triggered no data
+    /// (paper §6.3, "credit waste").
+    pub fn count_wasted_credit(&mut self) {
+        self.net.count_wasted_credit(self.flow);
+    }
+}
+
+/// Helper tracking the latest armed generation of one timer kind, so
+/// endpoints can cancel/rearm logically: stale firings are filtered by
+/// generation mismatch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimerSlot {
+    armed: Option<u64>,
+}
+
+impl TimerSlot {
+    /// Unarmed slot.
+    pub fn new() -> TimerSlot {
+        TimerSlot::default()
+    }
+
+    /// Arm (or re-arm) this slot's timer.
+    pub fn arm(&mut self, ctx: &mut Ctx<'_>, kind: u8, delay: Dur) {
+        self.armed = Some(ctx.arm_timer(kind, delay));
+    }
+
+    /// Logically cancel: any in-flight firing will be ignored.
+    pub fn cancel(&mut self) {
+        self.armed = None;
+    }
+
+    /// Whether a firing with this generation is the latest arming. Consumes
+    /// the arming (one-shot semantics); re-arm for periodic behaviour.
+    pub fn matches(&mut self, gen: u64) -> bool {
+        if self.armed == Some(gen) {
+            self.armed = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if armed and not yet fired/cancelled.
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_slot_one_shot_semantics() {
+        let mut s = TimerSlot::new();
+        assert!(!s.is_armed());
+        s.armed = Some(7);
+        assert!(s.is_armed());
+        assert!(!s.matches(6));
+        assert!(s.matches(7));
+        assert!(!s.matches(7), "second firing with same gen must not match");
+        assert!(!s.is_armed());
+    }
+
+    #[test]
+    fn timer_slot_cancel() {
+        let mut s = TimerSlot::new();
+        s.armed = Some(3);
+        s.cancel();
+        assert!(!s.matches(3));
+    }
+}

@@ -1,0 +1,47 @@
+//! # xpass-net — packet-level datacenter network model
+//!
+//! The simulator substrate that plays the role ns-2 (and the hardware
+//! testbed) played in the ExpressPass paper: hosts with NICs, switches with
+//! per-port output queues, full-duplex links, ECMP routing, and the
+//! credit-class machinery the paper adds to commodity switches.
+//!
+//! Layout:
+//!
+//! * [`ids`] — typed indices for hosts, switches, links, flows.
+//! * [`packet`] — wire-format constants (84 B credits, 1538 B max frames) and
+//!   the [`Packet`](packet::Packet) struct every protocol shares.
+//! * [`queue`] — drop-tail data queues with optional ECN marking and HULL
+//!   phantom queues; tiny credit queues with leaky-bucket metering.
+//! * [`rcplink`] — per-link explicit-rate state for the RCP baseline.
+//! * [`port`] — the egress-port scheduler arbitrating the credit and data
+//!   classes onto the wire.
+//! * [`topology`] — graph construction (dumbbell, parking lot,
+//!   multi-bottleneck, k-ary fat tree, oversubscribed 3-tier Clos) and
+//!   shortest-path ECMP route tables.
+//! * [`routing`] — symmetric flow hashing for deterministic, path-symmetric
+//!   ECMP (paper §3.1).
+//! * [`endpoint`] — the `Endpoint` trait all congestion-control protocols
+//!   implement, plus the `Ctx` handle they act through.
+//! * [`network`] — the event loop tying everything together.
+//! * [`config`] — per-run knobs (queue capacity, ECN K, credit queue size,
+//!   host jitter model, …).
+
+
+#![warn(missing_docs)]
+pub mod config;
+pub mod endpoint;
+pub mod ids;
+pub mod network;
+pub mod packet;
+pub mod port;
+pub mod queue;
+pub mod rcplink;
+pub mod routing;
+pub mod topology;
+
+pub use config::NetConfig;
+pub use endpoint::{Ctx, Endpoint, EndpointFactory};
+pub use ids::{DLinkId, FlowId, HostId, NodeId, Side, SwitchId};
+pub use network::{Controller, FlowRecord, Network, NoController};
+pub use packet::{Packet, PktKind};
+pub use topology::Topology;

@@ -1,0 +1,93 @@
+//! Symmetric flow hashing for deterministic ECMP (paper §3.1).
+//!
+//! ExpressPass requires **path symmetry**: a flow's data packets must traverse
+//! the reverse of the path its credits took. On Clos topologies with ECMP
+//! this is achieved with (a) a *symmetric* hash — the same value for both
+//! directions of a flow — and (b) *deterministic* next-hop ordering — every
+//! switch sorts its equal-cost next hops by neighbor address, so "the k-th
+//! uplink" means topologically mirrored links at both ends.
+
+use crate::ids::{FlowId, HostId};
+
+/// A 64-bit symmetric flow hash: invariant under swapping source and
+/// destination, and well-mixed via SplitMix64 finalization.
+#[inline]
+pub fn symmetric_flow_hash(a: HostId, b: HostId, flow: FlowId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    let x = ((lo as u64) << 40) ^ ((hi as u64) << 16) ^ flow.0 as u64;
+    mix(x)
+}
+
+/// SplitMix64 finalizer: a cheap, statistically strong 64→64 bit mixer.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Pick one of `n` equal-cost next hops for a flow. All switches use the
+/// same function over the same sorted next-hop lists, which yields
+/// deterministic, symmetric path selection.
+#[inline]
+pub fn ecmp_index(a: HostId, b: HostId, flow: FlowId, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (symmetric_flow_hash(a, b, flow) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_symmetric() {
+        for i in 0..100u32 {
+            for j in 0..100u32 {
+                let f = FlowId(i * 100 + j);
+                assert_eq!(
+                    symmetric_flow_hash(HostId(i), HostId(j), f),
+                    symmetric_flow_hash(HostId(j), HostId(i), f),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_depends_on_flow_id() {
+        let h1 = symmetric_flow_hash(HostId(1), HostId(2), FlowId(1));
+        let h2 = symmetric_flow_hash(HostId(1), HostId(2), FlowId(2));
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn hash_depends_on_pair() {
+        let h1 = symmetric_flow_hash(HostId(1), HostId(2), FlowId(1));
+        let h2 = symmetric_flow_hash(HostId(1), HostId(3), FlowId(1));
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn ecmp_index_spreads_roughly_evenly() {
+        let n = 4;
+        let mut counts = [0usize; 4];
+        for f in 0..10_000u32 {
+            counts[ecmp_index(HostId(1), HostId(2), FlowId(f), n)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (2000..3000).contains(&c),
+                "uneven ECMP spread: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ecmp_index_symmetric_across_directions() {
+        for f in 0..1000u32 {
+            let fwd = ecmp_index(HostId(7), HostId(42), FlowId(f), 8);
+            let rev = ecmp_index(HostId(42), HostId(7), FlowId(f), 8);
+            assert_eq!(fwd, rev);
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Topology construction and route computation.
+//!
+//! Every topology used in the paper's evaluation is available as a builder:
+//!
+//! * [`Topology::star`] — one switch, N hosts (incast, Fig 9; shuffle, Fig 17)
+//! * [`Topology::dumbbell`] — N sender/receiver pairs over one bottleneck
+//!   (Figs 2, 13, 15, 16)
+//! * [`Topology::chain`] — switches in a line (parking lot Fig 10,
+//!   multi-bottleneck Fig 11)
+//! * [`Topology::fat_tree`] — canonical k-ary fat tree (Fig 1's 8-ary)
+//! * [`Topology::three_tier`] — generalized 3-tier Clos, including the
+//!   oversubscribed 192-host eval topology (Figs 18–21, Table 3)
+//!
+//! Routes are all-pairs shortest-path with ECMP: for each destination host a
+//! BFS computes hop counts, and each switch keeps every neighbor on a
+//! shortest path as a next hop, sorted by neighbor id for deterministic
+//! (and therefore symmetric, see [`crate::routing`]) ECMP.
+
+use crate::ids::{DLinkId, HostId, NodeId, SwitchId};
+use std::collections::VecDeque;
+use xpass_sim::time::Dur;
+
+/// One direction of a cable. The egress port (queues + transmitter) lives at
+/// `from`.
+#[derive(Clone, Debug)]
+pub struct DirectedLink {
+    /// Transmitting end.
+    pub from: NodeId,
+    /// Receiving end.
+    pub to: NodeId,
+    /// Line rate in bits per second.
+    pub speed_bps: u64,
+    /// Propagation delay.
+    pub prop_delay: Dur,
+}
+
+/// An immutable network graph plus its precomputed ECMP routing tables.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Human-readable topology name (for reports).
+    pub name: String,
+    /// Number of hosts (ids `0..n_hosts`).
+    pub n_hosts: usize,
+    /// Number of switches (ids `0..n_switches`).
+    pub n_switches: usize,
+    /// All directed links; a cable is two consecutive entries.
+    pub dlinks: Vec<DirectedLink>,
+    /// Each host's single egress link (host → ToR).
+    pub host_uplink: Vec<DLinkId>,
+    /// `routes[switch][dst_host]` — sorted equal-cost egress links.
+    pub routes: Vec<Vec<Vec<DLinkId>>>,
+}
+
+/// Incremental topology builder.
+#[derive(Default)]
+pub struct TopoBuilder {
+    n_hosts: usize,
+    n_switches: usize,
+    links: Vec<DirectedLink>,
+}
+
+impl TopoBuilder {
+    /// Empty builder.
+    pub fn new() -> TopoBuilder {
+        TopoBuilder::default()
+    }
+
+    /// Add `n` hosts, returning their ids.
+    pub fn add_hosts(&mut self, n: usize) -> Vec<HostId> {
+        let start = self.n_hosts as u32;
+        self.n_hosts += n;
+        (start..start + n as u32).map(HostId).collect()
+    }
+
+    /// Add one switch.
+    pub fn add_switch(&mut self) -> SwitchId {
+        let id = SwitchId(self.n_switches as u32);
+        self.n_switches += 1;
+        id
+    }
+
+    /// Add `n` switches, returning their ids.
+    pub fn add_switches(&mut self, n: usize) -> Vec<SwitchId> {
+        (0..n).map(|_| self.add_switch()).collect()
+    }
+
+    /// Connect two nodes with a full-duplex cable (two directed links of the
+    /// same speed and propagation delay).
+    pub fn connect(&mut self, a: NodeId, b: NodeId, speed_bps: u64, prop_delay: Dur) {
+        assert!(speed_bps > 0);
+        self.links.push(DirectedLink {
+            from: a,
+            to: b,
+            speed_bps,
+            prop_delay,
+        });
+        self.links.push(DirectedLink {
+            from: b,
+            to: a,
+            speed_bps,
+            prop_delay,
+        });
+    }
+
+    /// Finalize: verify single-homed hosts and compute ECMP routing tables.
+    pub fn build(self, name: &str) -> Topology {
+        let n_hosts = self.n_hosts;
+        let n_switches = self.n_switches;
+        let dlinks = self.links;
+        let n_nodes = n_hosts + n_switches;
+        let node_index = |n: NodeId| -> usize {
+            match n {
+                NodeId::Host(HostId(h)) => h as usize,
+                NodeId::Switch(SwitchId(s)) => n_hosts + s as usize,
+            }
+        };
+
+        // Adjacency: outgoing dlinks per node.
+        let mut adj: Vec<Vec<DLinkId>> = vec![Vec::new(); n_nodes];
+        for (i, l) in dlinks.iter().enumerate() {
+            adj[node_index(l.from)].push(DLinkId(i as u32));
+        }
+
+        // Hosts must be single-homed (one uplink each).
+        let mut host_uplink = vec![DLinkId(u32::MAX); n_hosts];
+        for h in 0..n_hosts {
+            assert_eq!(
+                adj[h].len(),
+                1,
+                "host {h} must have exactly one uplink, has {}",
+                adj[h].len()
+            );
+            host_uplink[h] = adj[h][0];
+        }
+
+        // Per-destination BFS over the (symmetric) graph.
+        let mut routes: Vec<Vec<Vec<DLinkId>>> = vec![vec![Vec::new(); n_hosts]; n_switches];
+        let mut dist = vec![u32::MAX; n_nodes];
+        for dst in 0..n_hosts {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dst] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dst);
+            while let Some(u) = q.pop_front() {
+                for &dl in &adj[u] {
+                    let v = node_index(dlinks[dl.0 as usize].to);
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            for s in 0..n_switches {
+                let u = n_hosts + s;
+                if dist[u] == u32::MAX {
+                    continue; // switch cannot reach this host
+                }
+                let mut hops: Vec<DLinkId> = adj[u]
+                    .iter()
+                    .copied()
+                    .filter(|&dl| {
+                        let v = node_index(dlinks[dl.0 as usize].to);
+                        dist[v] != u32::MAX && dist[v] + 1 == dist[u]
+                    })
+                    .collect();
+                // Deterministic ECMP: sort by neighbor address.
+                hops.sort_by_key(|&dl| dlinks[dl.0 as usize].to.sort_key());
+                routes[s][dst] = hops;
+            }
+        }
+
+        Topology {
+            name: name.to_string(),
+            n_hosts,
+            n_switches,
+            dlinks,
+            host_uplink,
+            routes,
+        }
+    }
+}
+
+impl Topology {
+    /// The directed link from `from` to `to`, if the nodes are adjacent.
+    pub fn dlink_between(&self, from: NodeId, to: NodeId) -> Option<DLinkId> {
+        self.dlinks
+            .iter()
+            .position(|l| l.from == from && l.to == to)
+            .map(|i| DLinkId(i as u32))
+    }
+
+    /// Speed of the slowest host uplink (used as `max_rate` by protocols).
+    pub fn min_host_speed(&self) -> u64 {
+        self.host_uplink
+            .iter()
+            .map(|&dl| self.dlinks[dl.0 as usize].speed_bps)
+            .min()
+            .expect("topology has no hosts")
+    }
+
+    /// Hop count of the shortest path between two hosts (for RTT estimates).
+    pub fn hop_count(&self, a: HostId, b: HostId) -> usize {
+        // BFS (small graphs; used only at configuration time).
+        let n_nodes = self.n_hosts + self.n_switches;
+        let node_index = |n: NodeId| -> usize {
+            match n {
+                NodeId::Host(HostId(h)) => h as usize,
+                NodeId::Switch(SwitchId(s)) => self.n_hosts + s as usize,
+            }
+        };
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+        for l in &self.dlinks {
+            adj[node_index(l.from)].push(node_index(l.to));
+        }
+        let mut dist = vec![u32::MAX; n_nodes];
+        dist[a.0 as usize] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(a.0 as usize);
+        while let Some(u) = q.pop_front() {
+            if u == b.0 as usize {
+                return dist[u] as usize;
+            }
+            for &v in &adj[u] {
+                if dist[v] == u32::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        panic!("hosts {a} and {b} are not connected");
+    }
+
+    /// Base (zero-queue) RTT between two hosts: propagation + serialization
+    /// of a full frame on every hop, both directions.
+    pub fn base_rtt(&self, a: HostId, b: HostId) -> Dur {
+        // Conservative estimate: sum of 2× propagation along shortest path
+        // plus one MTU serialization per hop each way. Computed by BFS with
+        // delay weights (all links here have uniform per-tier delay, so
+        // hop-count BFS then summing is adequate for estimates).
+        let hops = self.hop_count(a, b);
+        // Use the first host uplink's parameters as representative.
+        let up = &self.dlinks[self.host_uplink[a.0 as usize].0 as usize];
+        let per_hop = up.prop_delay + xpass_sim::time::tx_time(1538, up.speed_bps);
+        per_hop * (2 * hops) as u64
+    }
+
+    /// A copy of this topology with the cable between `a` and `b` removed
+    /// (both directions — §3.1 requires excluding unidirectionally failed
+    /// links so credit/data paths stay symmetric) and routes recomputed.
+    ///
+    /// Panics if removal would disconnect any host.
+    pub fn without_cable(&self, a: NodeId, b: NodeId) -> Topology {
+        let mut builder = TopoBuilder {
+            n_hosts: self.n_hosts,
+            n_switches: self.n_switches,
+            links: Vec::new(),
+        };
+        let mut removed = 0;
+        let mut i = 0;
+        while i < self.dlinks.len() {
+            let l = &self.dlinks[i];
+            // Cables were added as consecutive directed pairs.
+            if (l.from == a && l.to == b) || (l.from == b && l.to == a) {
+                removed += 1;
+            } else {
+                builder.links.push(l.clone());
+            }
+            i += 1;
+        }
+        assert!(removed == 2, "no cable between {a:?} and {b:?}");
+        builder.build(&format!("{}-minus-cable", self.name))
+    }
+
+    // ----- canonical topologies -------------------------------------------
+
+    /// One switch with `n` hosts. Covers single-rack scenarios: incast
+    /// (Fig 9), shuffle (Fig 17).
+    pub fn star(n: usize, speed_bps: u64, prop: Dur) -> Topology {
+        let mut b = TopoBuilder::new();
+        let hosts = b.add_hosts(n);
+        let sw = b.add_switch();
+        for h in hosts {
+            b.connect(NodeId::Host(h), NodeId::Switch(sw), speed_bps, prop);
+        }
+        b.build(&format!("star-{n}"))
+    }
+
+    /// `n_pairs` senders on one switch, `n_pairs` receivers on another,
+    /// joined by a single bottleneck of the same speed. Host `i` pairs with
+    /// host `n_pairs + i`.
+    pub fn dumbbell(n_pairs: usize, speed_bps: u64, prop: Dur) -> Topology {
+        let mut b = TopoBuilder::new();
+        let senders = b.add_hosts(n_pairs);
+        let receivers = b.add_hosts(n_pairs);
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        for h in senders {
+            b.connect(NodeId::Host(h), NodeId::Switch(s0), speed_bps, prop);
+        }
+        for h in receivers {
+            b.connect(NodeId::Host(h), NodeId::Switch(s1), speed_bps, prop);
+        }
+        b.connect(NodeId::Switch(s0), NodeId::Switch(s1), speed_bps, prop);
+        b.build(&format!("dumbbell-{n_pairs}"))
+    }
+
+    /// A chain of `n_switches` switches with `hosts_per_switch` hosts on
+    /// each; inter-switch links form the "parking lot" bottlenecks.
+    /// Host `s * hosts_per_switch + i` sits on switch `s`.
+    pub fn chain(
+        n_switches: usize,
+        hosts_per_switch: usize,
+        speed_bps: u64,
+        prop: Dur,
+    ) -> Topology {
+        assert!(n_switches >= 2);
+        let mut b = TopoBuilder::new();
+        let hosts = b.add_hosts(n_switches * hosts_per_switch);
+        let sws = b.add_switches(n_switches);
+        for (i, h) in hosts.iter().enumerate() {
+            let sw = sws[i / hosts_per_switch];
+            b.connect(NodeId::Host(*h), NodeId::Switch(sw), speed_bps, prop);
+        }
+        for w in sws.windows(2) {
+            b.connect(NodeId::Switch(w[0]), NodeId::Switch(w[1]), speed_bps, prop);
+        }
+        b.build(&format!("chain-{n_switches}x{hosts_per_switch}"))
+    }
+
+    /// Canonical k-ary fat tree: `k` pods of `k/2` ToR + `k/2` agg switches,
+    /// `(k/2)²` cores, `k³/4` hosts. The paper's Fig 1 uses `k = 8`
+    /// (16 cores, 32 agg, 32 ToR, 128 hosts).
+    ///
+    /// Switch id layout: ToRs `[0, k²/2)`, aggs `[k²/2, k²)`,
+    /// cores `[k², k² + k²/4)`.
+    pub fn fat_tree(k: usize, host_bps: u64, up_bps: u64, prop: Dur) -> Topology {
+        assert!(k >= 2 && k % 2 == 0, "fat tree requires even k");
+        let half = k / 2;
+        let mut b = TopoBuilder::new();
+        let hosts = b.add_hosts(k * half * half);
+        let tors = b.add_switches(k * half);
+        let aggs = b.add_switches(k * half);
+        let cores = b.add_switches(half * half);
+
+        // Hosts to ToRs.
+        for (i, h) in hosts.iter().enumerate() {
+            let tor = tors[i / half];
+            b.connect(NodeId::Host(*h), NodeId::Switch(tor), host_bps, prop);
+        }
+        // ToRs to aggs within each pod.
+        for pod in 0..k {
+            for t in 0..half {
+                for a in 0..half {
+                    b.connect(
+                        NodeId::Switch(tors[pod * half + t]),
+                        NodeId::Switch(aggs[pod * half + a]),
+                        up_bps,
+                        prop,
+                    );
+                }
+            }
+        }
+        // Aggs to cores: agg `a` of every pod connects to core group `a`.
+        for pod in 0..k {
+            for a in 0..half {
+                for c in 0..half {
+                    b.connect(
+                        NodeId::Switch(aggs[pod * half + a]),
+                        NodeId::Switch(cores[a * half + c]),
+                        up_bps,
+                        prop,
+                    );
+                }
+            }
+        }
+        b.build(&format!("fat-tree-{k}"))
+    }
+
+    /// Generalized 3-tier Clos with per-tier speeds and explicit
+    /// oversubscription. `cores` must be divisible by `aggs_per_pod`; agg
+    /// `a` of every pod connects to core group `a`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn three_tier(
+        pods: usize,
+        aggs_per_pod: usize,
+        tors_per_pod: usize,
+        hosts_per_tor: usize,
+        cores: usize,
+        host_bps: u64,
+        up_bps: u64,
+        core_bps: u64,
+        prop: Dur,
+    ) -> Topology {
+        assert!(cores % aggs_per_pod == 0, "cores must split evenly over agg groups");
+        let cores_per_group = cores / aggs_per_pod;
+        let mut b = TopoBuilder::new();
+        let hosts = b.add_hosts(pods * tors_per_pod * hosts_per_tor);
+        let tors = b.add_switches(pods * tors_per_pod);
+        let aggs = b.add_switches(pods * aggs_per_pod);
+        let core_sw = b.add_switches(cores);
+
+        for (i, h) in hosts.iter().enumerate() {
+            let tor = tors[i / hosts_per_tor];
+            b.connect(NodeId::Host(*h), NodeId::Switch(tor), host_bps, prop);
+        }
+        for pod in 0..pods {
+            for t in 0..tors_per_pod {
+                for a in 0..aggs_per_pod {
+                    b.connect(
+                        NodeId::Switch(tors[pod * tors_per_pod + t]),
+                        NodeId::Switch(aggs[pod * aggs_per_pod + a]),
+                        up_bps,
+                        prop,
+                    );
+                }
+            }
+            for a in 0..aggs_per_pod {
+                for c in 0..cores_per_group {
+                    b.connect(
+                        NodeId::Switch(aggs[pod * aggs_per_pod + a]),
+                        NodeId::Switch(core_sw[a * cores_per_group + c]),
+                        core_bps,
+                        prop,
+                    );
+                }
+            }
+        }
+        b.build(&format!(
+            "clos-{pods}x{aggs_per_pod}x{tors_per_pod}x{hosts_per_tor}"
+        ))
+    }
+
+    /// The paper's evaluation topology (§6.3): 8 cores, 16 aggs, 32 ToRs,
+    /// 192 hosts, 3:1 oversubscription at the ToR layer, 4 µs link delays.
+    pub fn eval_fat_tree(link_bps: u64) -> Topology {
+        Topology::three_tier(8, 2, 4, 6, 8, link_bps, link_bps, link_bps, Dur::us(4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::ecmp_index;
+    use crate::ids::FlowId;
+
+    const G10: u64 = 10_000_000_000;
+
+    #[test]
+    fn star_routes_direct() {
+        let t = Topology::star(4, G10, Dur::us(1));
+        assert_eq!(t.n_hosts, 4);
+        assert_eq!(t.n_switches, 1);
+        // Switch routes every host out of exactly one port.
+        for h in 0..4 {
+            assert_eq!(t.routes[0][h].len(), 1);
+            let dl = t.routes[0][h][0];
+            assert_eq!(t.dlinks[dl.0 as usize].to, NodeId::Host(HostId(h as u32)));
+        }
+        assert_eq!(t.hop_count(HostId(0), HostId(3)), 2);
+    }
+
+    #[test]
+    fn dumbbell_structure() {
+        let t = Topology::dumbbell(3, G10, Dur::us(1));
+        assert_eq!(t.n_hosts, 6);
+        assert_eq!(t.n_switches, 2);
+        // Sender-side switch reaches receivers via the bottleneck.
+        let bottleneck = t
+            .dlink_between(NodeId::Switch(SwitchId(0)), NodeId::Switch(SwitchId(1)))
+            .unwrap();
+        for dst in 3..6 {
+            assert_eq!(t.routes[0][dst], vec![bottleneck]);
+        }
+        assert_eq!(t.hop_count(HostId(0), HostId(3)), 3);
+    }
+
+    #[test]
+    fn chain_parking_lot_paths() {
+        let t = Topology::chain(4, 2, G10, Dur::us(1));
+        assert_eq!(t.n_hosts, 8);
+        assert_eq!(t.n_switches, 4);
+        // End-to-end flow crosses all 3 inter-switch links: 5 hops total.
+        assert_eq!(t.hop_count(HostId(0), HostId(7)), 5);
+        // Neighbors: 3 hops.
+        assert_eq!(t.hop_count(HostId(0), HostId(2)), 3);
+    }
+
+    #[test]
+    fn fat_tree_8ary_matches_paper_counts() {
+        let t = Topology::fat_tree(8, G10, 40_000_000_000, Dur::us(1));
+        assert_eq!(t.n_hosts, 128);
+        // 32 ToR + 32 agg + 16 core.
+        assert_eq!(t.n_switches, 80);
+        // Intra-pod pair: host0 and host4 on different ToRs of pod 0.
+        assert_eq!(t.hop_count(HostId(0), HostId(4)), 4);
+        // Cross-pod pair traverses core: 6 hops.
+        assert_eq!(t.hop_count(HostId(0), HostId(127)), 6);
+    }
+
+    #[test]
+    fn fat_tree_ecmp_choices() {
+        let t = Topology::fat_tree(4, G10, G10, Dur::us(1));
+        // k=4: each ToR has 2 agg uplinks; remote destinations must have 2
+        // equal-cost choices at the ToR.
+        let tor0 = 0usize;
+        let remote_host = t.n_hosts - 1;
+        assert_eq!(t.routes[tor0][remote_host].len(), 2);
+        // Local host: single downlink.
+        assert_eq!(t.routes[tor0][0].len(), 1);
+    }
+
+    #[test]
+    fn eval_topology_oversubscription() {
+        let t = Topology::eval_fat_tree(G10);
+        assert_eq!(t.n_hosts, 192);
+        assert_eq!(t.n_switches, 32 + 16 + 8);
+        // ToR 0: 6 host downlinks + 2 agg uplinks.
+        let tor0 = NodeId::Switch(SwitchId(0));
+        let out: Vec<_> = t.dlinks.iter().filter(|l| l.from == tor0).collect();
+        assert_eq!(out.len(), 8);
+        // Max RTT estimate: 6 hops × (4us + 1.23us) × 2 ≈ 63us ≥ paper's 52.
+        let rtt = t.base_rtt(HostId(0), HostId(191));
+        assert!(rtt >= Dur::us(48) && rtt <= Dur::us(80), "{rtt}");
+    }
+
+    #[test]
+    fn path_symmetry_under_symmetric_hash() {
+        // Trace the ECMP path forward and backward through a fat tree and
+        // verify the traversed cables match (paper §3.1 requirement).
+        let t = Topology::fat_tree(8, G10, G10, Dur::us(1));
+        let trace = |src: HostId, dst: HostId, flow: FlowId| -> Vec<usize> {
+            // Returns cable ids (dlink index / 2) from src to dst.
+            let mut cables = Vec::new();
+            let mut dl = t.host_uplink[src.0 as usize];
+            loop {
+                cables.push(dl.0 as usize / 2);
+                let to = t.dlinks[dl.0 as usize].to;
+                match to {
+                    NodeId::Host(h) => {
+                        assert_eq!(h, dst);
+                        return cables;
+                    }
+                    NodeId::Switch(s) => {
+                        let choices = &t.routes[s.0 as usize][dst.0 as usize];
+                        assert!(!choices.is_empty());
+                        let idx = ecmp_index(src, dst, flow, choices.len());
+                        dl = choices[idx];
+                    }
+                }
+            }
+        };
+        for f in 0..200u32 {
+            let a = HostId(f % 16);
+            let b = HostId(127 - (f % 16));
+            let fwd = trace(a, b, FlowId(f));
+            let mut rev = trace(b, a, FlowId(f));
+            rev.reverse();
+            assert_eq!(fwd, rev, "asymmetric path for flow {f}");
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_across_uplinks() {
+        let t = Topology::fat_tree(8, G10, G10, Dur::us(1));
+        // ToR 0 toward a cross-pod host: 4 agg choices.
+        let choices = &t.routes[0][127];
+        assert_eq!(choices.len(), 4);
+        let mut used = vec![0usize; choices.len()];
+        for f in 0..1000u32 {
+            used[ecmp_index(HostId(0), HostId(127), FlowId(f), choices.len())] += 1;
+        }
+        for &u in &used {
+            assert!(u > 150, "skewed ECMP: {used:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one uplink")]
+    fn multihomed_host_rejected() {
+        let mut b = TopoBuilder::new();
+        let h = b.add_hosts(1)[0];
+        let s1 = b.add_switch();
+        let s2 = b.add_switch();
+        b.connect(NodeId::Host(h), NodeId::Switch(s1), G10, Dur::us(1));
+        b.connect(NodeId::Host(h), NodeId::Switch(s2), G10, Dur::us(1));
+        b.build("bad");
+    }
+
+    #[test]
+    fn min_host_speed() {
+        let t = Topology::star(3, G10, Dur::us(1));
+        assert_eq!(t.min_host_speed(), G10);
+    }
+}

@@ -1,0 +1,170 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! A binary heap keyed on `(time, seq)` where `seq` is a monotonically
+//! increasing insertion counter: events scheduled for the same instant fire
+//! in the order they were scheduled, which makes runs deterministic and
+//! debugging sane.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of events of type `E`.
+///
+/// `E` needs no trait bounds; ordering is entirely on `(time, seq)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    popped: u64,
+}
+
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
+    }
+
+    /// Pop the earliest event, returning `(time, event)`.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            self.popped += 1;
+            (e.key.0 .0, e.event)
+        })
+    }
+
+    /// Timestamp of the next event without removing it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of events currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed so far (for perf reporting).
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO + Dur::us(3), "c");
+        q.push(SimTime::ZERO + Dur::us(1), "a");
+        q.push(SimTime::ZERO + Dur::us(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + Dur::us(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            let (at, v) = q.pop().unwrap();
+            assert_eq!(at, t);
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), ());
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counts_processed() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(SimTime(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_processed(), 10);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 5u64);
+        q.push(SimTime(1), 1);
+        assert_eq!(q.pop().unwrap().0, SimTime(1));
+        q.push(SimTime(3), 3);
+        q.push(SimTime(2), 2);
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # xpass-sim — deterministic discrete-event simulation engine
+//!
+//! This crate is the foundation of the ExpressPass reproduction: a small,
+//! fast, fully deterministic discrete-event kernel in the role ns-2 played
+//! for the original paper.
+//!
+//! Components:
+//!
+//! * [`time`] — simulation clock. Time is an integer number of **picoseconds**
+//!   ([`SimTime`], [`Dur`]); at 100 Gbps one byte serializes in exactly 80 ps,
+//!   so every transmission time used by the paper (10/25/40/100 Gbps) is exact
+//!   with no floating-point drift.
+//! * [`event`] — a binary-heap event queue with a stable tie-break sequence
+//!   number, so same-timestamp events fire in insertion order and runs are
+//!   reproducible bit-for-bit.
+//! * [`rng`] — a seedable xoshiro256++ PRNG plus the distributions the
+//!   workloads need (uniform, exponential, empirical CDF).
+//! * [`stats`] — online statistics, percentiles, time-weighted averages
+//!   (queue occupancy), histograms, CDFs, and Jain's fairness index.
+//! * [`bucket`] — token/leaky bucket used by credit rate-limiters.
+
+
+#![warn(missing_docs)]
+pub mod bucket;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use bucket::TokenBucket;
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use stats::{Cdf, Histogram, OnlineStats, Percentiles, TimeWeighted};
+pub use time::{Dur, SimTime};

@@ -1,0 +1,526 @@
+//! Statistics collection: everything the paper's evaluation reports.
+//!
+//! * [`OnlineStats`] — streaming count/mean/min/max/variance (Welford).
+//! * [`Percentiles`] — exact percentiles from retained samples (FCT tables).
+//! * [`TimeWeighted`] — time-weighted average of a step function (queue
+//!   occupancy in bytes over time).
+//! * [`Histogram`] — log-spaced histogram for cheap distribution summaries.
+//! * [`Cdf`] — CDF extraction for figures like Fig 6(b) and Fig 17.
+//! * [`jain_fairness`] — Jain's fairness index (Fig 6a, Fig 15).
+
+use crate::time::{Dur, SimTime};
+
+/// Streaming statistics over a sequence of f64 observations.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Exact percentile computation over retained samples.
+///
+/// Experiments retain one f64 per flow (e.g. FCT in seconds); at ≤100k flows
+/// this is a few hundred KB, so exactness beats sketching.
+#[derive(Clone, Debug, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Empty collection.
+    pub fn new() -> Percentiles {
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (q ∈ [0,1]) using nearest-rank; 0 if empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.samples[idx]
+    }
+
+    /// Median.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile — the paper's tail-latency headline metric.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.samples.last().unwrap()
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        self.samples[0]
+    }
+
+    /// Extract a CDF with at most `max_points` evenly spaced rank points.
+    pub fn cdf(&mut self, max_points: usize) -> Cdf {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 0 {
+            return Cdf { points: vec![] };
+        }
+        let step = (n / max_points.max(1)).max(1);
+        let mut points = Vec::with_capacity(n / step + 1);
+        let mut i = step - 1;
+        while i < n {
+            points.push((self.samples[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if points.last().map(|&(_, p)| p) != Some(1.0) {
+            points.push((self.samples[n - 1], 1.0));
+        }
+        Cdf { points }
+    }
+}
+
+/// A cumulative distribution function as `(value, P[X ≤ value])` points.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    /// Sorted `(value, cumulative probability)` pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Value at a given cumulative probability (nearest point at or above).
+    pub fn value_at(&self, q: f64) -> f64 {
+        for &(v, p) in &self.points {
+            if p >= q {
+                return v;
+            }
+        }
+        self.points.last().map(|&(v, _)| v).unwrap_or(0.0)
+    }
+}
+
+/// Time-weighted average/max of a right-continuous step function, e.g. queue
+/// occupancy: `add` the new value at each change; `finish` at the horizon.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    last_v: f64,
+    weighted_sum: f64, // ∫ v dt in (value × seconds)
+    elapsed: f64,      // seconds integrated
+    max: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// New accumulator; integration starts at the first `set`.
+    pub fn new() -> TimeWeighted {
+        TimeWeighted {
+            last_t: SimTime::ZERO,
+            last_v: 0.0,
+            weighted_sum: 0.0,
+            elapsed: 0.0,
+            max: 0.0,
+            started: false,
+        }
+    }
+
+    /// Record that the tracked value becomes `v` at time `t`.
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        if self.started {
+            let dt = t.since(self.last_t).as_secs_f64();
+            self.weighted_sum += self.last_v * dt;
+            self.elapsed += dt;
+        } else {
+            self.started = true;
+        }
+        self.last_t = t;
+        self.last_v = v;
+        self.max = self.max.max(v);
+    }
+
+    /// Close the integration window at `t` (keeps the current value).
+    pub fn finish(&mut self, t: SimTime) {
+        let v = self.last_v;
+        self.set(t, v);
+    }
+
+    /// Time-weighted mean over the observed window (0 if no time elapsed).
+    pub fn mean(&self) -> f64 {
+        if self.elapsed <= 0.0 {
+            0.0
+        } else {
+            self.weighted_sum / self.elapsed
+        }
+    }
+
+    /// Maximum value observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A histogram with logarithmic (base-2) buckets over `[1, 2^63]`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    zero: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            zero: 0,
+        }
+    }
+
+    /// Add a non-negative integer observation.
+    pub fn add(&mut self, v: u64) {
+        self.count += 1;
+        if v == 0 {
+            self.zero += 1;
+        } else {
+            self.buckets[63 - v.leading_zeros() as usize] += 1;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile (upper bucket bound at rank), 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.zero;
+        if seen >= rank {
+            return 0;
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair.
+///
+/// Empty or all-zero inputs return 1.0 (vacuously fair), matching how the
+/// paper reports intervals where no flow made progress.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sumsq)
+}
+
+/// A fixed-interval time series sampler: record a value every `interval` and
+/// keep the series for trace figures (Fig 13, Fig 16).
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    interval: Dur,
+    /// `(time, value)` samples.
+    pub samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// New series with the given sampling interval (informational).
+    pub fn new(interval: Dur) -> TimeSeries {
+        TimeSeries {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Sampling interval.
+    pub fn interval(&self) -> Dur {
+        self.interval
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.samples.push((t, v));
+    }
+
+    /// Values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|&(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut p = Percentiles::new();
+        for i in 1..=100 {
+            p.add(i as f64);
+        }
+        assert_eq!(p.median(), 50.0);
+        assert_eq!(p.p99(), 99.0);
+        assert_eq!(p.quantile(1.0), 100.0);
+        assert_eq!(p.quantile(0.0), 1.0);
+        assert_eq!(p.max(), 100.0);
+        assert_eq!(p.min(), 1.0);
+        assert_eq!(p.mean(), 50.5);
+    }
+
+    #[test]
+    fn percentiles_interleaved_adds() {
+        let mut p = Percentiles::new();
+        p.add(5.0);
+        assert_eq!(p.median(), 5.0);
+        p.add(1.0);
+        p.add(9.0);
+        assert_eq!(p.median(), 5.0);
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn cdf_extraction() {
+        let mut p = Percentiles::new();
+        for i in 1..=1000 {
+            p.add(i as f64);
+        }
+        let cdf = p.cdf(10);
+        assert!(cdf.points.len() <= 11);
+        assert_eq!(cdf.points.last().unwrap().1, 1.0);
+        let median = cdf.value_at(0.5);
+        assert!((median - 500.0).abs() <= 100.0);
+    }
+
+    #[test]
+    fn time_weighted_step_function() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::ZERO, 10.0);
+        tw.set(SimTime::ZERO + Dur::secs(1), 20.0);
+        tw.finish(SimTime::ZERO + Dur::secs(2));
+        // 10 for 1s, 20 for 1s → mean 15.
+        assert!((tw.mean() - 15.0).abs() < 1e-9);
+        assert_eq!(tw.max(), 20.0);
+    }
+
+    #[test]
+    fn time_weighted_empty() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean(), 0.0);
+        assert_eq!(tw.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.add(1);
+        }
+        for _ in 0..10 {
+            h.add(1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.quantile(0.5) <= 2);
+        assert!(h.quantile(0.99) >= 1000);
+    }
+
+    #[test]
+    fn histogram_zeros() {
+        let mut h = Histogram::new();
+        h.add(0);
+        h.add(0);
+        h.add(8);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.quantile(1.0) >= 8);
+    }
+
+    #[test]
+    fn jain_index_values() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One flow hogging: index → 1/n.
+        let idx = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+        // Textbook example.
+        let idx = jain_fairness(&[4.0, 2.0]);
+        assert!((idx - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_series_collects() {
+        let mut ts = TimeSeries::new(Dur::ms(10));
+        ts.push(SimTime::ZERO, 1.0);
+        ts.push(SimTime::ZERO + Dur::ms(10), 2.0);
+        assert_eq!(ts.values(), vec![1.0, 2.0]);
+        assert_eq!(ts.interval(), Dur::ms(10));
+    }
+}

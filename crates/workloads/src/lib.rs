@@ -1,0 +1,47 @@
+//! # xpass-workloads — datacenter traffic generation
+//!
+//! * [`dists`] — empirical flow-size distributions for the paper's four
+//!   realistic workloads (Table 2): data mining, web search, cache
+//!   follower, web server.
+//! * [`arrivals`] — Poisson flow arrivals calibrated to a target load on
+//!   the ToR uplinks (§6.3).
+//! * [`patterns`] — synthetic patterns: incast, permutation, MapReduce
+//!   shuffle (Fig 17), and the partition/aggregate request/response
+//!   application of Fig 1 (as a network controller running rounds).
+
+
+#![warn(missing_docs)]
+pub mod arrivals;
+pub mod dists;
+pub mod patterns;
+
+pub use arrivals::PoissonWorkload;
+pub use dists::{Workload, WorkloadDist};
+pub use patterns::{incast, permutation, shuffle, PartitionAggregate};
+
+use xpass_net::ids::HostId;
+use xpass_sim::time::SimTime;
+
+/// One flow to inject into a network.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Application bytes.
+    pub size_bytes: u64,
+    /// Arrival time.
+    pub start: SimTime,
+}
+
+/// Add every spec to a network, returning the flow ids.
+pub fn add_all(
+    net: &mut xpass_net::network::Network,
+    specs: &[FlowSpec],
+) -> Vec<xpass_net::ids::FlowId> {
+    specs
+        .iter()
+        .map(|s| net.add_flow(s.src, s.dst, s.size_bytes, s.start))
+        .collect()
+}

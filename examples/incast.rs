@@ -1,0 +1,43 @@
+//! Incast: 32 senders dump 512 KB each onto one receiver simultaneously —
+//! the partition/aggregate pattern that motivates the paper (§2).
+//!
+//! Compares ExpressPass against DCTCP on the same rack: the credit scheme
+//! schedules data arrivals at packet granularity (tiny bounded queue, zero
+//! loss); DCTCP absorbs the burst in queue and sheds the overflow.
+//!
+//! Run with: `cargo run --release --example incast`
+
+use xpass::experiments::Scheme;
+use xpass::expresspass::XPassConfig;
+use xpass::net::ids::HostId;
+use xpass::net::topology::Topology;
+use xpass::sim::stats::Percentiles;
+use xpass::sim::time::{Dur, SimTime};
+use xpass::workloads::{add_all, incast};
+
+fn main() {
+    const SENDERS: usize = 32;
+    const BYTES: u64 = 512_000;
+    let link = 10_000_000_000u64;
+
+    for scheme in [Scheme::XPass(XPassConfig::default()), Scheme::Dctcp] {
+        let topo = Topology::star(SENDERS + 1, link, Dur::us(2));
+        let mut net = scheme.build(topo, link, 7);
+        let senders: Vec<HostId> = (0..SENDERS as u32).map(HostId).collect();
+        let dst = HostId(SENDERS as u32);
+        let specs = incast(&senders, dst, BYTES, SimTime::ZERO);
+        add_all(&mut net, &specs);
+        net.run_until_done(SimTime::ZERO + Dur::secs(5));
+        net.finish_stats();
+
+        let mut fcts = Percentiles::new();
+        for r in net.flow_records() {
+            fcts.add(r.fct.expect("all incast flows complete").as_secs_f64());
+        }
+        println!("== {} ==", scheme.name());
+        println!("  fct p50/p99/max : {:.2} / {:.2} / {:.2} ms",
+            fcts.median() * 1e3, fcts.p99() * 1e3, fcts.max() * 1e3);
+        println!("  data drops      : {}", net.total_data_drops());
+        println!("  max switch queue: {:.1} KB", net.max_switch_queue_bytes() as f64 / 1e3);
+    }
+}

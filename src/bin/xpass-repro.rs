@@ -1,0 +1,194 @@
+//! `xpass-repro` — run any paper experiment from the command line.
+//!
+//! ```text
+//! xpass-repro list                 # show available experiments
+//! xpass-repro fig16                # run one experiment, print its table
+//! xpass-repro all                  # run everything
+//! xpass-repro fig17 --paper-scale  # use the paper's full parameters
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+use xpass::experiments as ex;
+
+struct Experiment {
+    name: &'static str,
+    what: &'static str,
+    run: fn(paper_scale: bool) -> String,
+}
+
+fn experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "fig01",
+            what: "queue build-up under partition/aggregate",
+            run: |ps| {
+                let cfg = if ps {
+                    ex::fig01_queue_buildup::Config::paper_scale()
+                } else {
+                    ex::fig01_queue_buildup::Config::default()
+                };
+                ex::fig01_queue_buildup::run(&cfg).to_string()
+            },
+        },
+        Experiment {
+            name: "fig02",
+            what: "naive credit vs CUBIC vs DCTCP convergence",
+            run: |_| ex::fig02_naive_convergence::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "table1",
+            what: "network-calculus buffer bounds",
+            run: |_| ex::table1_buffer_bounds::run().to_string(),
+        },
+        Experiment {
+            name: "fig05",
+            what: "ToR buffer requirement vs link speed",
+            run: |_| ex::fig05_buffer_breakdown::run().to_string(),
+        },
+        Experiment {
+            name: "fig06",
+            what: "pacing jitter vs credit-drop fairness",
+            run: |_| ex::fig06_jitter_fairness::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig08",
+            what: "initial-rate trade-off",
+            run: |_| ex::fig08_init_rate_tradeoff::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig09",
+            what: "credit queue capacity vs utilization",
+            run: |_| ex::fig09_credit_queue_capacity::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig10",
+            what: "parking-lot utilization",
+            run: |_| ex::fig10_parking_lot::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig11",
+            what: "multi-bottleneck fairness",
+            run: |_| ex::fig11_multi_bottleneck::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig12",
+            what: "steady-state feedback model",
+            run: |_| ex::fig12_steady_state::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig13",
+            what: "five staggered flows trace",
+            run: |_| {
+                let (a, b) = ex::fig13_convergence_trace::run_both(&Default::default());
+                format!("{a}\n{b}")
+            },
+        },
+        Experiment {
+            name: "fig14",
+            what: "host model distributions",
+            run: |_| ex::fig14_host_model::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig15",
+            what: "flow scalability",
+            run: |_| ex::fig15_flow_scalability::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig16",
+            what: "convergence time at 10G/100G",
+            run: |_| ex::fig16_convergence::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig17",
+            what: "MapReduce shuffle FCTs",
+            run: |ps| {
+                let cfg = if ps {
+                    ex::fig17_shuffle::Config::paper_scale()
+                } else {
+                    ex::fig17_shuffle::Config::default()
+                };
+                ex::fig17_shuffle::run(&cfg).to_string()
+            },
+        },
+        Experiment {
+            name: "fig18",
+            what: "(alpha, w_init) sensitivity",
+            run: |_| ex::fig18_param_sensitivity::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig19",
+            what: "realistic-workload FCTs",
+            run: |ps| {
+                let cfg = if ps {
+                    ex::fig19_fct::Config::paper_scale()
+                } else {
+                    ex::fig19_fct::Config::default()
+                };
+                ex::fig19_fct::run(&cfg).to_string()
+            },
+        },
+        Experiment {
+            name: "fig20",
+            what: "credit waste ratio",
+            run: |_| ex::fig20_credit_waste::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "fig21",
+            what: "40G-over-10G FCT speed-up",
+            run: |_| ex::fig21_speedup::run(&Default::default()).to_string(),
+        },
+        Experiment {
+            name: "table3",
+            what: "queue occupancy",
+            run: |ps| {
+                let cfg = if ps {
+                    ex::table3_queue::Config::paper_scale()
+                } else {
+                    ex::table3_queue::Config::default()
+                };
+                ex::table3_queue::run(&cfg).to_string()
+            },
+        },
+        Experiment {
+            name: "ablations",
+            what: "design-choice ablations",
+            run: |_| ex::ablations::run(&Default::default()).to_string(),
+        },
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let exps = experiments();
+
+    match targets.first().map(|s| s.as_str()) {
+        None | Some("list") | Some("help") => {
+            println!("usage: xpass-repro <experiment|all> [--paper-scale]\n");
+            println!("experiments:");
+            for e in &exps {
+                println!("  {:<10} {}", e.name, e.what);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("all") => {
+            for e in &exps {
+                println!("==== {} — {} ====", e.name, e.what);
+                println!("{}\n", (e.run)(paper_scale));
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match exps.iter().find(|e| e.name == name) {
+            Some(e) => {
+                println!("{}", (e.run)(paper_scale));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; try `xpass-repro list`");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,22 @@
+//! # xpass — ExpressPass reproduction facade
+//!
+//! Single-crate entry point re-exporting the whole workspace:
+//!
+//! * [`sim`] — deterministic discrete-event engine (time, events, RNG, stats).
+//! * [`net`] — packet-level datacenter network model (queues, links, switches,
+//!   ECMP routing, topologies).
+//! * [`expresspass`] — the paper's contribution: credit feedback control,
+//!   sender/receiver state machines, credit pacing, network-calculus bounds.
+//! * [`baselines`] — DCTCP, RCP, HULL, DX, CUBIC, ideal rate control, and the
+//!   naïve credit scheme.
+//! * [`workloads`] — realistic flow-size distributions and traffic patterns.
+//! * [`experiments`] — one harness per paper table/figure.
+
+
+#![warn(missing_docs)]
+pub use expresspass;
+pub use xpass_baselines as baselines;
+pub use xpass_experiments as experiments;
+pub use xpass_net as net;
+pub use xpass_sim as sim;
+pub use xpass_workloads as workloads;

@@ -1,0 +1,353 @@
+//! Property-based tests (proptest) over the core data structures and
+//! protocol invariants.
+
+use proptest::prelude::*;
+use xpass::expresspass::feedback::{max_credit_rate, CreditFeedback};
+use xpass::expresspass::netcalc::{buffer_bounds, HierTopo, NetCalcParams};
+use xpass::expresspass::XPassConfig;
+use xpass::net::ids::{FlowId, HostId};
+use xpass::net::packet::{data_wire_size, Packet, PktKind, MAX_FRAME, MIN_FRAME};
+use xpass::net::queue::{CreditDropPolicy, CreditQueue, DataQueue};
+use xpass::net::routing::{ecmp_index, symmetric_flow_hash};
+use xpass::net::topology::Topology;
+use xpass::sim::bucket::TokenBucket;
+use xpass::sim::event::EventQueue;
+use xpass::sim::rng::Rng;
+use xpass::sim::stats::{jain_fairness, Percentiles};
+use xpass::sim::time::{tx_time, Dur, SimTime};
+
+proptest! {
+    // ---- sim core ---------------------------------------------------------
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn tx_time_monotone_in_bytes(a in 1u64..100_000, b in 1u64..100_000,
+                                 bps in 1_000_000u64..200_000_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(tx_time(lo, bps) <= tx_time(hi, bps));
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_cap(rate in 1_000_000u64..10_000_000_000,
+                                      cap in 84u64..10_000,
+                                      steps in prop::collection::vec((0u64..1_000_000, 1u64..200), 1..50)) {
+        let mut tb = TokenBucket::new(rate, cap);
+        let mut now = SimTime::ZERO;
+        for (dt, bytes) in steps {
+            now = now + Dur::ps(dt);
+            prop_assert!(tb.level_bytes() <= cap);
+            if tb.conforms(now, bytes) {
+                tb.consume(now, bytes);
+            }
+            prop_assert!(tb.level_bytes() <= cap);
+        }
+    }
+
+    #[test]
+    fn token_bucket_conforming_time_is_earliest(rate in 1_000_000u64..10_000_000_000,
+                                                bytes in 1u64..2_000) {
+        let mut tb = TokenBucket::new(rate, 2 * bytes);
+        tb.drain();
+        let t = tb.time_until_conforming(SimTime::ZERO, bytes);
+        prop_assert!(tb.conforms(t, bytes));
+        if t.as_ps() > 1 {
+            let mut tb2 = TokenBucket::new(rate, 2 * bytes);
+            tb2.drain();
+            prop_assert!(!tb2.conforms(SimTime(t.as_ps() - 2), bytes));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics(mut xs in prop::collection::vec(-1e9f64..1e9, 1..300)) {
+        let mut p = Percentiles::new();
+        for &x in &xs {
+            p.add(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(p.min(), xs[0]);
+        prop_assert_eq!(p.max(), *xs.last().unwrap());
+        let med = p.median();
+        prop_assert!(xs.contains(&med));
+        prop_assert!(p.quantile(0.25) <= p.quantile(0.75));
+    }
+
+    #[test]
+    fn jain_index_in_unit_interval(xs in prop::collection::vec(0.0f64..1e9, 1..100)) {
+        let j = jain_fairness(&xs);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&j));
+    }
+
+    #[test]
+    fn rng_jitter_stays_in_band(seed in any::<u64>(), base_us in 1u64..1000, spread_us in 0u64..100) {
+        let mut rng = Rng::new(seed);
+        let base = Dur::us(base_us);
+        let spread = Dur::us(spread_us);
+        // jitter = base + uniform[0, spread] - spread/2, clamped at zero.
+        let half = spread.as_ps() / 2;
+        let lo = Dur::ps(base.as_ps().saturating_sub(half));
+        let hi = Dur::ps(base.as_ps() + (spread.as_ps() - half));
+        for _ in 0..50 {
+            let j = rng.jitter(base, spread);
+            prop_assert!(j >= lo, "{j} < {lo}");
+            prop_assert!(j <= hi, "{j} > {hi}");
+        }
+    }
+
+    // ---- net --------------------------------------------------------------
+
+    #[test]
+    fn data_queue_conserves_bytes(sizes in prop::collection::vec(84u32..1538, 1..100),
+                                  cap in 2_000u64..100_000) {
+        let mut q = DataQueue::new(cap);
+        let mut accepted_bytes = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            let mut p = Packet::new(FlowId(0), HostId(0), HostId(1), PktKind::Data, s);
+            p.seq = i as u64;
+            if q.enqueue(SimTime(i as u64), p) {
+                accepted_bytes += s as u64;
+            }
+            prop_assert!(q.len_bytes() <= cap);
+        }
+        let mut drained = 0u64;
+        while let Some(p) = q.dequeue(SimTime(1_000_000)) {
+            drained += p.size as u64;
+        }
+        prop_assert_eq!(drained, accepted_bytes);
+        prop_assert_eq!(q.len_bytes(), 0);
+    }
+
+    #[test]
+    fn credit_queue_never_exceeds_capacity(policy_pick in 0u8..3,
+                                           flows in prop::collection::vec(0u32..4, 1..200),
+                                           cap in 1usize..16) {
+        let mut q = CreditQueue::new(10_000_000_000, cap);
+        q.drop_policy = match policy_pick {
+            0 => CreditDropPolicy::Tail,
+            1 => CreditDropPolicy::UniformRandom,
+            _ => CreditDropPolicy::LongestQueueDrop,
+        };
+        let mut rng = Rng::new(42);
+        for (i, &f) in flows.iter().enumerate() {
+            let mut p = Packet::new(FlowId(f), HostId(f), HostId(9), PktKind::Credit, 84);
+            p.seq = i as u64;
+            q.enqueue(SimTime(i as u64 * 1000), p, &mut rng);
+            prop_assert!(q.len() <= cap);
+        }
+        // Conservation: enqueued - dropped = still queued + (none dequeued).
+        prop_assert_eq!(q.stats.enqueued - (q.stats.enqueued - q.len() as u64), q.len() as u64);
+        prop_assert_eq!(q.stats.dropped + q.stats.enqueued >= flows.len() as u64, true);
+    }
+
+    #[test]
+    fn credit_queue_fifo_order_survives_drops(n in 10usize..150) {
+        // Per-flow sequence numbers of dequeued credits must be increasing
+        // regardless of drop policy (the receiver's loss accounting relies
+        // on it).
+        for policy in [CreditDropPolicy::Tail, CreditDropPolicy::UniformRandom, CreditDropPolicy::LongestQueueDrop] {
+            let mut q = CreditQueue::new(10_000_000_000, 8);
+            q.drop_policy = policy;
+            let mut rng = Rng::new(9);
+            let mut now = SimTime::ZERO;
+            let mut last_seq = [0u64; 2];
+            for i in 0..n {
+                let f = (i % 2) as u32;
+                let mut p = Packet::new(FlowId(f), HostId(f), HostId(9), PktKind::Credit, 84);
+                p.seq = i as u64;
+                q.enqueue(now, p, &mut rng);
+                now = now + Dur::ns(400);
+                if q.head_conforms(now) {
+                    let out = q.dequeue(now).unwrap();
+                    let fl = out.src.0 as usize;
+                    prop_assert!(out.seq >= last_seq[fl], "{policy:?}: reordered");
+                    last_seq[fl] = out.seq;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_hash_property(a in 0u32..100_000, b in 0u32..100_000, f in any::<u32>()) {
+        prop_assert_eq!(
+            symmetric_flow_hash(HostId(a), HostId(b), FlowId(f)),
+            symmetric_flow_hash(HostId(b), HostId(a), FlowId(f))
+        );
+        if a != b {
+            let n = 1 + (f as usize % 8);
+            prop_assert_eq!(
+                ecmp_index(HostId(a), HostId(b), FlowId(f), n),
+                ecmp_index(HostId(b), HostId(a), FlowId(f), n)
+            );
+        }
+    }
+
+    #[test]
+    fn wire_sizes_bounded(app in 0u32..1461) {
+        let w = data_wire_size(app);
+        prop_assert!(w >= MIN_FRAME);
+        prop_assert!(w <= MAX_FRAME);
+    }
+
+    #[test]
+    fn fat_tree_routes_complete(k in prop::sample::select(vec![2usize, 4, 6, 8])) {
+        let topo = Topology::fat_tree(k, 10_000_000_000, 10_000_000_000, Dur::us(1));
+        // Every switch can route to every host with ≥1 next hop.
+        for s in 0..topo.n_switches {
+            for h in 0..topo.n_hosts {
+                prop_assert!(!topo.routes[s][h].is_empty(), "sw{s} cannot reach h{h}");
+            }
+        }
+    }
+
+    // ---- expresspass feedback ---------------------------------------------
+
+    #[test]
+    fn feedback_rate_always_within_bounds(losses in prop::collection::vec(0.0f64..1.0, 1..300),
+                                          alpha_inv in 1u32..33) {
+        let cfg = XPassConfig::default().with_alpha_winit(1.0 / alpha_inv as f64, 0.5);
+        let max = max_credit_rate(10_000_000_000);
+        let mut fb = CreditFeedback::new(max, cfg);
+        let floor = max * cfg.min_rate_frac;
+        for loss in losses {
+            let r = fb.on_update(loss);
+            prop_assert!(r >= floor - 1e-9, "rate {r} under floor {floor}");
+            prop_assert!(r <= fb.ceiling() + 1e-9, "rate {r} over ceiling");
+            prop_assert!(fb.w() >= cfg.w_min - 1e-12);
+            prop_assert!(fb.w() <= cfg.w_max + 1e-12);
+        }
+    }
+
+    #[test]
+    fn feedback_clean_periods_monotone_toward_ceiling(n in 1usize..100) {
+        let mut fb = CreditFeedback::new(1e6, XPassConfig::default());
+        let mut last = fb.rate();
+        for _ in 0..n {
+            let r = fb.on_update(0.0);
+            prop_assert!(r >= last - 1e-9, "clean update decreased rate");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn netcalc_bounds_monotone_in_credit_queue(cq in 1usize..33) {
+        let mut p1 = NetCalcParams::testbed();
+        p1.credit_queue = cq;
+        let mut p2 = p1;
+        p2.credit_queue = cq + 1;
+        let topo = HierTopo::fat32_10_40();
+        let b1 = buffer_bounds(&topo, &p1);
+        let b2 = buffer_bounds(&topo, &p2);
+        prop_assert!(b2.tor_down.buffer_bytes >= b1.tor_down.buffer_bytes);
+        prop_assert!(b2.core.buffer_bytes >= b1.core.buffer_bytes);
+    }
+}
+
+/// Protocol-level invariants over randomized scenarios (fewer cases — each
+/// case is a full packet-level simulation).
+mod protocol_props {
+    use super::*;
+    use proptest::prelude::*;
+    use xpass::expresspass::xpass_factory;
+    use xpass::net::config::NetConfig;
+    use xpass::net::network::Network;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// ExpressPass never drops data and always completes, for random
+        /// topology shapes, flow matrices, sizes, and seeds.
+        #[test]
+        fn xpass_zero_loss_everywhere(
+            seed in 1u64..10_000,
+            shape in 0u8..3,
+            n_flows in 1usize..10,
+            size_kb in 1u64..400,
+        ) {
+            let topo = match shape {
+                0 => Topology::star(8, 10_000_000_000, Dur::us(2)),
+                1 => Topology::dumbbell(8, 10_000_000_000, Dur::us(4)),
+                _ => Topology::fat_tree(4, 10_000_000_000, 10_000_000_000, Dur::us(2)),
+            };
+            let n_hosts = topo.n_hosts as u32;
+            let cfg = NetConfig::expresspass().with_seed(seed);
+            let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::default()));
+            let mut rng = xpass::sim::rng::Rng::new(seed ^ 0xF00D);
+            for _ in 0..n_flows {
+                let src = HostId(rng.below(n_hosts as u64) as u32);
+                let dst = loop {
+                    let d = HostId(rng.below(n_hosts as u64) as u32);
+                    if d != src {
+                        break d;
+                    }
+                };
+                let start = SimTime::ZERO + Dur::us(rng.below(500));
+                net.add_flow(src, dst, size_kb * 1000, start);
+            }
+            net.run_until_done(SimTime::ZERO + Dur::secs(5));
+            prop_assert_eq!(net.completed_count(), n_flows, "incomplete flows");
+            prop_assert_eq!(net.total_data_drops(), 0, "data loss");
+        }
+
+        /// The window transport completes under arbitrary loss pressure
+        /// (random tiny buffers), for DCTCP.
+        #[test]
+        fn dctcp_completes_despite_random_buffers(
+            seed in 1u64..10_000,
+            queue_mtus in 4u64..60,
+            n_flows in 1usize..8,
+        ) {
+            let topo = Topology::star(9, 10_000_000_000, Dur::us(2));
+            let mut cfg = NetConfig::dctcp(10_000_000_000).with_seed(seed);
+            cfg.switch_queue_bytes = queue_mtus * 1538;
+            let mut net = Network::new(
+                topo,
+                cfg,
+                xpass::baselines::dctcp_factory(10_000_000_000),
+            );
+            for i in 0..n_flows {
+                net.add_flow(HostId(i as u32), HostId(8), 150_000, SimTime::ZERO);
+            }
+            net.run_until_done(SimTime::ZERO + Dur::secs(5));
+            prop_assert_eq!(net.completed_count(), n_flows);
+        }
+
+        /// Determinism as a property: identical seeds give identical FCTs
+        /// regardless of the scenario.
+        #[test]
+        fn any_scenario_is_deterministic(seed in 1u64..10_000, n in 2usize..6) {
+            let run = || {
+                let topo = Topology::dumbbell(n, 10_000_000_000, Dur::us(4));
+                let cfg = NetConfig::expresspass().with_seed(seed);
+                let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::default()));
+                for i in 0..n {
+                    net.add_flow(
+                        HostId(i as u32),
+                        HostId((n + i) as u32),
+                        500_000,
+                        SimTime::ZERO,
+                    );
+                }
+                net.run_until_done(SimTime::ZERO + Dur::secs(2));
+                net.flow_records()
+                    .iter()
+                    .map(|r| r.fct.map(|d| d.as_ps()))
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+}
