@@ -126,8 +126,10 @@ impl CongestionControl for DctcpCc {
 /// [`NetConfig::dctcp`](xpass_net::NetConfig::dctcp) so switches mark ECN.
 pub fn dctcp_factory(link_bps: u64) -> EndpointFactory {
     let p = DctcpParams::for_speed(link_bps);
-    let mut w = WindowCfg::default();
-    w.min_cwnd = p.min_cwnd;
+    let w = WindowCfg {
+        min_cwnd: p.min_cwnd,
+        ..WindowCfg::default()
+    };
     window_factory(w, move || DctcpCc::new(p))
 }
 

@@ -120,7 +120,7 @@ impl MaxMinOracle {
                     continue;
                 }
                 let share = remaining[&l] / n as f64;
-                if best.map_or(true, |(_, s)| share < s) {
+                if best.is_none_or(|(_, s)| share < s) {
                     best = Some((l, share));
                 }
             }

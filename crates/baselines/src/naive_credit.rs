@@ -86,12 +86,10 @@ impl Endpoint for NaiveCreditReceiver {
     fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) {
         match pkt.kind {
             PktKind::Ctrl => match pkt.flag {
-                ctrl::SYN | ctrl::CREDIT_REQUEST => {
-                    if !self.sending && !self.stopped {
-                        self.sending = true;
-                        self.send_credit(ctx);
-                        self.arm(ctx);
-                    }
+                ctrl::SYN | ctrl::CREDIT_REQUEST if !self.sending && !self.stopped => {
+                    self.sending = true;
+                    self.send_credit(ctx);
+                    self.arm(ctx);
                 }
                 ctrl::CREDIT_STOP | ctrl::FIN => {
                     self.stopped = true;

@@ -373,14 +373,14 @@ impl<C: CongestionControl> Endpoint for WindowSender<C> {
     fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) {
         match pkt.kind {
             PktKind::Ack => self.on_ack_pkt(pkt, ctx),
-            PktKind::Ctrl if pkt.flag == xpass_net::packet::ctrl::SYN => {
+            PktKind::Ctrl
+                if pkt.flag == xpass_net::packet::ctrl::SYN && !self.established =>
+            {
                 // SYN-ACK (receiver echoes the SYN flag).
-                if !self.established {
-                    self.established = true;
-                    self.syn_slot.cancel();
-                    self.arm_rto(ctx);
-                    self.try_send(ctx);
-                }
+                self.established = true;
+                self.syn_slot.cancel();
+                self.arm_rto(ctx);
+                self.try_send(ctx);
             }
             _ => {}
         }
@@ -390,10 +390,8 @@ impl<C: CongestionControl> Endpoint for WindowSender<C> {
         match kind {
             timer::RTO if self.rto_slot.matches(gen) => self.on_rto(ctx),
             timer::PACE if self.pace_slot.matches(gen) => self.on_pace_fire(ctx),
-            timer::SYN_RTX if self.syn_slot.matches(gen) => {
-                if !self.established {
-                    self.send_syn(ctx);
-                }
+            timer::SYN_RTX if self.syn_slot.matches(gen) && !self.established => {
+                self.send_syn(ctx);
             }
             _ => {}
         }

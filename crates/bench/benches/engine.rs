@@ -1,10 +1,14 @@
-//! Criterion microbenchmarks of the simulation engine itself: event-queue
+//! Microbenchmarks of the simulation engine itself: event-queue
 //! throughput, RNG draws, token-bucket accounting, and end-to-end simulated
 //! packet throughput of a saturated ExpressPass flow.
+//!
+//! Self-contained timing harness (no external bench framework): each case
+//! is warmed up, then timed over enough iterations to smooth scheduler
+//! noise, reporting ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use expresspass::{xpass_factory, XPassConfig};
 use std::hint::black_box;
+use std::time::Instant;
 use xpass_net::config::NetConfig;
 use xpass_net::ids::HostId;
 use xpass_net::network::Network;
@@ -14,110 +18,120 @@ use xpass_sim::event::EventQueue;
 use xpass_sim::rng::Rng;
 use xpass_sim::time::{Dur, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        let mut rng = Rng::new(1);
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.push(SimTime(rng.next_u64() % 1_000_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+/// Time `f` and print a ns/iter line. `iters` is chosen per-case so fast
+/// microbenches run long enough to measure and slow end-to-end cases stay
+/// bounded.
+fn bench_case(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..(iters / 10).max(1) {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let dt = t0.elapsed();
+    let per = dt.as_nanos() as f64 / iters as f64;
+    println!(
+        "{name:<40} {per:>14.1} ns/iter  ({iters} iters, {:.3}s total)",
+        dt.as_secs_f64()
+    );
+}
+
+fn bench_event_queue() {
+    let mut rng = Rng::new(1);
+    bench_case("event_queue_push_pop_1k", 2_000, || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(SimTime(rng.next_u64() % 1_000_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng_next_u64", |b| {
-        let mut rng = Rng::new(7);
-        b.iter(|| black_box(rng.next_u64()))
+fn bench_rng() {
+    let mut rng = Rng::new(7);
+    bench_case("rng_next_u64", 10_000_000, || {
+        black_box(rng.next_u64());
     });
-    c.bench_function("rng_exp_dur", |b| {
-        let mut rng = Rng::new(7);
-        b.iter(|| black_box(rng.exp_dur(Dur::us(100))))
-    });
-}
-
-fn bench_token_bucket(c: &mut Criterion) {
-    c.bench_function("token_bucket_conform_consume", |b| {
-        let mut tb = TokenBucket::new(10_000_000_000 * 84 / 1622, 168);
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            now = tb.time_until_conforming(now, 84);
-            tb.consume(now, 84);
-            black_box(now)
-        })
+    let mut rng = Rng::new(7);
+    bench_case("rng_exp_dur", 5_000_000, || {
+        black_box(rng.exp_dur(Dur::us(100)));
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_token_bucket() {
+    let mut tb = TokenBucket::new(10_000_000_000 * 84 / 1622, 168);
+    let mut now = SimTime::ZERO;
+    bench_case("token_bucket_conform_consume", 5_000_000, || {
+        now = tb.time_until_conforming(now, 84);
+        tb.consume(now, 84);
+        black_box(now);
+    });
+}
+
+fn bench_end_to_end() {
     // Simulated-packet throughput of the full stack: one saturated 10G
     // ExpressPass flow for 1ms of simulated time per iteration.
-    c.bench_function("xpass_saturated_flow_1ms", |b| {
-        b.iter(|| {
-            let topo = Topology::dumbbell(1, 10_000_000_000, Dur::us(1));
-            let cfg = NetConfig::expresspass().with_seed(3);
-            let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
-            net.add_flow(HostId(0), HostId(1), 1 << 30, SimTime::ZERO);
-            net.run_until(SimTime::ZERO + Dur::ms(1));
-            black_box(net.counters().payload_delivered)
-        })
+    bench_case("xpass_saturated_flow_1ms", 50, || {
+        let topo = Topology::dumbbell(1, 10_000_000_000, Dur::us(1));
+        let cfg = NetConfig::expresspass().with_seed(3);
+        let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+        net.add_flow(HostId(0), HostId(1), 1 << 30, SimTime::ZERO);
+        net.run_until(SimTime::ZERO + Dur::ms(1));
+        black_box(net.counters().payload_delivered);
     });
 }
 
-fn bench_topology(c: &mut Criterion) {
-    c.bench_function("fat_tree_8ary_build_with_routes", |b| {
-        b.iter(|| {
-            black_box(Topology::fat_tree(
-                8,
-                10_000_000_000,
-                40_000_000_000,
-                Dur::us(1),
-            ))
-        })
+fn bench_topology() {
+    bench_case("fat_tree_8ary_build_with_routes", 50, || {
+        black_box(Topology::fat_tree(
+            8,
+            10_000_000_000,
+            40_000_000_000,
+            Dur::us(1),
+        ));
     });
-    c.bench_function("eval_fat_tree_192_build_with_routes", |b| {
-        b.iter(|| black_box(Topology::eval_fat_tree(10_000_000_000)))
+    bench_case("eval_fat_tree_192_build_with_routes", 10, || {
+        black_box(Topology::eval_fat_tree(10_000_000_000));
     });
 }
 
-fn bench_netcalc(c: &mut Criterion) {
+fn bench_netcalc() {
     use expresspass::netcalc::{buffer_bounds, HierTopo, NetCalcParams};
-    c.bench_function("netcalc_table1_row", |b| {
-        let topo = HierTopo::fat32_10_40();
-        let p = NetCalcParams::testbed();
-        b.iter(|| black_box(buffer_bounds(&topo, &p)))
+    let topo = HierTopo::fat32_10_40();
+    let p = NetCalcParams::testbed();
+    bench_case("netcalc_table1_row", 1_000, || {
+        black_box(buffer_bounds(&topo, &p));
     });
 }
 
-fn bench_incast(c: &mut Criterion) {
+fn bench_incast() {
     // 16:1 incast, 100KB each: a complete mini-experiment per iteration.
-    c.bench_function("xpass_incast_16to1_complete", |b| {
-        b.iter(|| {
-            let topo = Topology::star(17, 10_000_000_000, Dur::us(2));
-            let cfg = NetConfig::expresspass().with_seed(7);
-            let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::default()));
-            for i in 0..16u32 {
-                net.add_flow(HostId(i), HostId(16), 100_000, SimTime::ZERO);
-            }
-            net.run_until_done(SimTime::ZERO + Dur::secs(1));
-            black_box(net.completed_count())
-        })
+    bench_case("xpass_incast_16to1_complete", 10, || {
+        let topo = Topology::star(17, 10_000_000_000, Dur::us(2));
+        let cfg = NetConfig::expresspass().with_seed(7);
+        let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::default()));
+        for i in 0..16u32 {
+            net.add_flow(HostId(i), HostId(16), 100_000, SimTime::ZERO);
+        }
+        net.run_until_done(SimTime::ZERO + Dur::secs(1));
+        black_box(net.completed_count());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_rng,
-    bench_token_bucket,
-    bench_end_to_end,
-    bench_topology,
-    bench_netcalc,
-    bench_incast
-);
-criterion_main!(benches);
+fn main() {
+    xpass_bench::bench_main("engine", || {
+        bench_event_queue();
+        bench_rng();
+        bench_token_bucket();
+        bench_end_to_end();
+        bench_topology();
+        bench_netcalc();
+        bench_incast();
+        String::from("engine microbenchmarks complete")
+    });
+}

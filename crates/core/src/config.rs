@@ -40,6 +40,19 @@ pub struct XPassConfig {
     /// covered by credits already in flight. Off by default (the paper's
     /// base design assumes senders do not know the flow end).
     pub early_credit_stop: bool,
+    /// Maximum number of SYN (credit-request) transmissions before the
+    /// sender aborts the flow. The first transmission counts, so `1` means
+    /// no retries. Retries back off exponentially from
+    /// `init_update_period · 10` up to [`syn_rtx_cap`](Self::syn_rtx_cap).
+    pub syn_rtx_max: u32,
+    /// Ceiling on the exponential SYN retransmission backoff.
+    pub syn_rtx_cap: Dur,
+    /// Receiver-side stall detector: with crediting active and no data
+    /// progress for this long, the flow is flagged
+    /// [`Stalled`](xpass_net::network::FlowOutcome::Stalled) on its record
+    /// (cleared on the next progress). Checked at update-period granularity,
+    /// so values below the RTT degenerate to one RTT.
+    pub stall_timeout: Dur,
 }
 
 impl Default for XPassConfig {
@@ -56,6 +69,9 @@ impl Default for XPassConfig {
             stop_timeout: Dur::us(200),
             min_rate_frac: 1.0 / 8192.0,
             early_credit_stop: false,
+            syn_rtx_max: 8,
+            syn_rtx_cap: Dur::ms(10),
+            stall_timeout: Dur::ms(5),
         }
     }
 }
@@ -108,6 +124,9 @@ impl XPassConfig {
         );
         assert!((0.0..=1.0).contains(&self.jitter), "jitter in [0,1]");
         assert!(self.min_rate_frac > 0.0 && self.min_rate_frac < 1.0);
+        assert!(self.syn_rtx_max >= 1, "syn_rtx_max >= 1");
+        assert!(!self.syn_rtx_cap.is_zero(), "syn_rtx_cap nonzero");
+        assert!(!self.stall_timeout.is_zero(), "stall_timeout nonzero");
     }
 }
 

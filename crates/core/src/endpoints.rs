@@ -55,6 +55,8 @@ pub struct XPassSender {
     dup_count: u32,
     stop_slot: TimerSlot,
     syn_slot: TimerSlot,
+    /// SYN transmissions so far (first send included).
+    syn_attempts: u32,
     /// Set once CREDIT_STOP has been sent.
     stopped: bool,
 }
@@ -69,6 +71,7 @@ impl XPassSender {
             dup_count: 0,
             stop_slot: TimerSlot::new(),
             syn_slot: TimerSlot::new(),
+            syn_attempts: 0,
             stopped: false,
         }
     }
@@ -78,13 +81,26 @@ impl XPassSender {
         self.next_seq
     }
 
+    /// SYN transmissions so far.
+    pub fn syn_attempts(&self) -> u32 {
+        self.syn_attempts
+    }
+
     fn send_syn(&mut self, ctx: &mut Ctx<'_>) {
+        self.syn_attempts += 1;
         let mut p = ctx.make_pkt(PktKind::Ctrl, CTRL_SIZE);
         p.flag = ctrl::SYN;
         ctx.send(p);
-        // Safety retransmit in case the SYN is lost under foreign traffic.
-        self.syn_slot
-            .arm(ctx, timer::SYN_RTX, self.cfg.init_update_period * 10);
+        // Safety retransmit in case the SYN (or every early credit) is lost:
+        // exponential backoff from the initial interval, capped so a healed
+        // path is re-probed promptly after long outages.
+        let base = self.cfg.init_update_period * 10;
+        let shift = (self.syn_attempts - 1).min(16);
+        let mut backoff = base * (1u64 << shift);
+        if backoff > self.cfg.syn_rtx_cap {
+            backoff = self.cfg.syn_rtx_cap;
+        }
+        self.syn_slot.arm(ctx, timer::SYN_RTX, backoff);
     }
 
     fn on_credit(&mut self, credit: &Packet, ctx: &mut Ctx<'_>) {
@@ -170,7 +186,14 @@ impl Endpoint for XPassSender {
                 }
             }
             timer::SYN_RTX if self.syn_slot.matches(gen) => {
-                if !self.stopped {
+                if self.stopped || ctx.flow_done() || ctx.flow_aborted() {
+                    // Settled while the timer was in flight; nothing to do.
+                } else if self.syn_attempts >= self.cfg.syn_rtx_max {
+                    // Connection establishment failed: the receiver is
+                    // unreachable (blackholed path, dead host). Give up so
+                    // the run can settle instead of retrying forever.
+                    ctx.abort_flow();
+                } else {
                     self.send_syn(ctx);
                 }
             }
@@ -217,6 +240,10 @@ pub struct XPassReceiver {
     paused: bool,
     /// Delivered-byte count at the previous update (watchdog progress check).
     delivered_at_update: u64,
+    /// Time of the last forward delivery progress (stall detector).
+    last_progress: SimTime,
+    /// Whether the flow is currently flagged as stalled on its record.
+    stall_flagged: bool,
 }
 
 impl XPassReceiver {
@@ -239,6 +266,8 @@ impl XPassReceiver {
             stopped: false,
             paused: false,
             delivered_at_update: 0,
+            last_progress: SimTime::ZERO,
+            stall_flagged: false,
         }
     }
 
@@ -280,6 +309,7 @@ impl XPassReceiver {
             return;
         }
         self.sending = true;
+        self.last_progress = ctx.now();
         if self.feedback.is_none() {
             let max = max_credit_rate(ctx.host_link_bps());
             self.feedback = Some(CreditFeedback::new(max, self.cfg));
@@ -378,6 +408,14 @@ impl XPassReceiver {
             }
         }
 
+        if ctx.delivered_bytes() > delivered {
+            self.last_progress = ctx.now();
+            if self.stall_flagged {
+                self.stall_flagged = false;
+                ctx.set_stalled(false);
+            }
+        }
+
         if ctx.flow_done() {
             self.ooo.clear();
             self.stop_crediting();
@@ -407,6 +445,12 @@ impl XPassReceiver {
             self.silent_periods += 1;
             if self.silent_periods >= 3 {
                 fb.on_update(1.0);
+                // Starvation is a failure signal, not steady-state noise:
+                // restore w to its initial aggressiveness so that when the
+                // path heals (link back up, loss cleared) the rate closes
+                // the gap to the ceiling in a few RTTs instead of crawling
+                // with the post-decrease w near w_min.
+                fb.reset_w_for_recovery();
                 self.silent_periods = 0;
             }
         }
@@ -438,28 +482,41 @@ impl Endpoint for XPassReceiver {
 
     fn on_timer(&mut self, kind: u8, gen: u64, ctx: &mut Ctx<'_>) {
         match kind {
-            timer::PACE if self.pace_slot.matches(gen) => {
-                if self.sending && !self.stopped && !self.paused {
+            timer::PACE
+                if self.pace_slot.matches(gen)
+                    && self.sending
+                    && !self.stopped
+                    && !self.paused =>
+            {
+                self.send_credit(ctx);
+                self.arm_pace(ctx);
+                self.maybe_early_stop(ctx);
+            }
+            timer::UPDATE
+                if self.update_slot.matches(gen) && self.sending && !self.stopped =>
+            {
+                let delivered = ctx.delivered_bytes();
+                if self.paused && !ctx.flow_done() && delivered == self.delivered_at_update {
+                    // Early-stop watchdog: a full update period passed
+                    // with no delivery progress while paused — the
+                    // in-flight credits were thinner than the margin
+                    // assumed (or lost). Resume pacing.
+                    self.paused = false;
                     self.send_credit(ctx);
                     self.arm_pace(ctx);
-                    self.maybe_early_stop(ctx);
                 }
-            }
-            timer::UPDATE if self.update_slot.matches(gen) => {
-                if self.sending && !self.stopped {
-                    let delivered = ctx.delivered_bytes();
-                    if self.paused && !ctx.flow_done() && delivered == self.delivered_at_update {
-                        // Early-stop watchdog: a full update period passed
-                        // with no delivery progress while paused — the
-                        // in-flight credits were thinner than the margin
-                        // assumed (or lost). Resume pacing.
-                        self.paused = false;
-                        self.send_credit(ctx);
-                        self.arm_pace(ctx);
-                    }
-                    self.delivered_at_update = delivered;
-                    self.on_update(ctx);
+                self.delivered_at_update = delivered;
+                // Stall detector, piggybacked on the update cadence so
+                // it adds no events of its own: no delivery progress
+                // for a full stall timeout flags the flow's record.
+                if !self.stall_flagged
+                    && !ctx.flow_done()
+                    && ctx.now().since(self.last_progress) >= self.cfg.stall_timeout
+                {
+                    self.stall_flagged = true;
+                    ctx.set_stalled(true);
                 }
+                self.on_update(ctx);
             }
             _ => {}
         }

@@ -86,6 +86,16 @@ impl CreditFeedback {
         self.cur_rate = self.cur_rate.clamp(floor, self.ceiling());
         self.cur_rate
     }
+
+    /// Failure-recovery reset (§4's reconvergence concern): after a
+    /// detected credit-starvation episode — e.g. a failed link healed and
+    /// credits flow again — restore `w` to its initial aggressiveness so
+    /// the rate re-converges in a few RTTs instead of crawling up from
+    /// `w_min` with steady-state caution.
+    pub fn reset_w_for_recovery(&mut self) {
+        self.w = self.cfg.w_init.clamp(self.cfg.w_min, self.cfg.w_max);
+        self.prev_increasing = false;
+    }
 }
 
 #[cfg(test)]

@@ -116,7 +116,7 @@ fn dbg_four_flow_fairness() {
     net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
     let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
     let flows: Vec<_> = (0..4).map(|i| net.add_flow(HostId(i), HostId(4 + i), 2_500_000_000, SimTime::ZERO + Dur::us(i as u64 * 37))).collect();
-    let mut last = vec![0u64; 4];
+    let mut last = [0u64; 4];
     for step in 0..35 {
         net.run_until(SimTime::ZERO + Dur::ms(step + 1));
         let mut rates = vec![];

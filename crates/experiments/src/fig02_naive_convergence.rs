@@ -61,7 +61,7 @@ pub fn run_scheme(cfg: &Config, scheme: Scheme) -> Option<Dur> {
     let mut net = scheme.build(topo, cfg.link_bps, cfg.seed);
     net.set_sample_interval(cfg.sample);
     // Long-running flows (sized to outlast the window).
-    let bytes = (cfg.link_bps / 8) as u64;
+    let bytes = cfg.link_bps / 8;
     net.add_flow(HostId(0), HostId(2), bytes, SimTime::ZERO);
     let join = SimTime::ZERO + cfg.join_at;
     let late = net.add_flow(HostId(1), HostId(3), bytes, join);

@@ -82,7 +82,7 @@ fn measure(cfg: &Config, n: usize, j: Option<f64>) -> f64 {
     let mut xp = XPassConfig::aggressive().with_jitter(j.unwrap_or(0.05));
     xp.randomize_credit_size = false;
     let mut net = Network::new(topo, net_cfg, xpass_factory(xp));
-    let bytes = (cfg.link_bps / 8) as u64;
+    let bytes = cfg.link_bps / 8;
     let flows: Vec<_> = (0..n)
         .map(|i| net.add_flow(HostId(i as u32), HostId((n + i) as u32), bytes, SimTime::ZERO))
         .collect();

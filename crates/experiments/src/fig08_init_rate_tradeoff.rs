@@ -78,7 +78,7 @@ pub fn run(cfg: &Config) -> Fig8 {
         // (a) convergence of a joining flow.
         let mut net = xpass_net(cfg, alpha, cfg.seed, 2);
         net.set_sample_interval(Dur::from_secs_f64(rtt));
-        let bytes = (cfg.link_bps / 8) as u64;
+        let bytes = cfg.link_bps / 8;
         net.add_flow(HostId(0), HostId(2), bytes, SimTime::ZERO);
         let join = SimTime::ZERO + Dur::ms(4);
         let late = net.add_flow(HostId(1), HostId(3), bytes, join);

@@ -72,7 +72,7 @@ fn measure(cfg: &Config, n: usize, cap: usize) -> f64 {
         max: Dur::us(1),
     };
     let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
-    let bytes = (cfg.link_bps / 8) as u64;
+    let bytes = cfg.link_bps / 8;
     let dst = HostId(n as u32);
     for i in 0..n {
         net.add_flow(HostId(i as u32), dst, bytes, SimTime::ZERO);

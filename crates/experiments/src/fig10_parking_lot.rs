@@ -66,7 +66,7 @@ fn measure(cfg: &Config, scheme: Scheme, n: usize) -> f64 {
     // Chain of n+1 switches → n bottleneck links; 2 hosts per switch.
     let topo = Topology::chain(n + 1, 2, cfg.link_bps, Dur::us(1));
     let mut net = scheme.build(topo, cfg.link_bps, cfg.seed);
-    let bytes = (cfg.link_bps / 8) as u64 * 2;
+    let bytes = (cfg.link_bps / 8) * 2;
     // Flow 0: end to end (host 0 on sw0 → host on last switch).
     let last_host = HostId((2 * n + 1) as u32);
     net.add_flow(HostId(0), last_host, bytes, SimTime::ZERO);

@@ -120,7 +120,7 @@ fn build_topo(n: usize, link_bps: u64) -> (Topology, Vec<HostId>, HostId, Vec<Ho
 fn measure(cfg: &Config, scheme: Scheme, n: usize) -> f64 {
     let (topo, senders, f0_dst, receivers) = build_topo(n, cfg.link_bps);
     let mut net = scheme.build(topo, cfg.link_bps, cfg.seed);
-    let bytes = (cfg.link_bps / 8) as u64 * 2;
+    let bytes = (cfg.link_bps / 8) * 2;
     let f0 = net.add_flow(senders[n], f0_dst, bytes, SimTime::ZERO);
     for i in 0..n {
         net.add_flow(senders[i], receivers[i], bytes, SimTime::ZERO);

@@ -84,7 +84,7 @@ pub fn run(cfg: &Config) -> Fig14 {
             .expect("sender downlink")
     };
     net.collect_credit_gaps(rx_dlink);
-    let size = (cfg.link_bps / 8) as u64; // ~1s worth; run is time-capped
+    let size = cfg.link_bps / 8; // ~1s worth; run is time-capped
     net.add_flow(HostId(0), HostId(1), size, SimTime::ZERO);
     net.run_until(SimTime::ZERO + cfg.duration);
 
@@ -143,8 +143,10 @@ mod tests {
 
     #[test]
     fn gaps_center_on_ideal() {
-        let mut cfg = Config::default();
-        cfg.duration = Dur::ms(5);
+        let cfg = Config {
+            duration: Dur::ms(5),
+            ..Config::default()
+        };
         let r = run(&cfg);
         let p50 = r.tx_gap_cdf.value_at(0.5);
         // Median TX gap within 25% of the 1.2976us ideal.
@@ -163,8 +165,10 @@ mod tests {
 
     #[test]
     fn host_delay_cdf_matches_model() {
-        let mut cfg = Config::default();
-        cfg.duration = Dur::ms(2);
+        let cfg = Config {
+            duration: Dur::ms(2),
+            ..Config::default()
+        };
         let r = run(&cfg);
         // Software model: 0.9..6.2us uniform.
         let p50 = r.host_delay_cdf.value_at(0.5) * 1e6;
@@ -175,8 +179,10 @@ mod tests {
 
     #[test]
     fn jitter_visible_in_tx_spread() {
-        let mut cfg = Config::default();
-        cfg.duration = Dur::ms(5);
+        let cfg = Config {
+            duration: Dur::ms(5),
+            ..Config::default()
+        };
         let r = run(&cfg);
         // Pacing jitter + size randomization produce nonzero spread.
         assert!(r.tx_gap_stddev > 1e-9, "stddev {}", r.tx_gap_stddev);
@@ -184,8 +190,10 @@ mod tests {
 
     #[test]
     fn renders() {
-        let mut cfg = Config::default();
-        cfg.duration = Dur::ms(2);
+        let cfg = Config {
+            duration: Dur::ms(2),
+            ..Config::default()
+        };
         let s = run(&cfg).to_string();
         assert!(s.contains("ideal gap"));
     }

@@ -76,7 +76,7 @@ pub struct Fig15 {
 fn measure(cfg: &Config, scheme: Scheme, n: usize) -> Point {
     let topo = Topology::dumbbell(n, cfg.link_bps, Dur::us(8));
     let mut net = scheme.build(topo, cfg.link_bps, cfg.seed);
-    let bytes = (cfg.link_bps / 8) as u64 * 2;
+    let bytes = (cfg.link_bps / 8) * 2;
     let flows: Vec<_> = (0..n)
         .map(|i| {
             // Unsynchronized long-running flows: tiny staggered starts.

@@ -471,6 +471,7 @@ mod tests {
                 fct: Some(Dur::us(100)),
                 credits_sent: 0,
                 credits_wasted: 0,
+                outcome: None,
             },
             FlowRecord {
                 id: FlowId(1),
@@ -481,6 +482,7 @@ mod tests {
                 fct: Some(Dur::ms(5)),
                 credits_sent: 0,
                 credits_wasted: 0,
+                outcome: None,
             },
             FlowRecord {
                 id: FlowId(2),
@@ -491,6 +493,7 @@ mod tests {
                 fct: None,
                 credits_sent: 0,
                 credits_wasted: 0,
+                outcome: None,
             },
         ];
         let mut b = FctBuckets::from_records(&recs);

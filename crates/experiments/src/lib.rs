@@ -29,10 +29,12 @@
 //! | [`fig21_speedup`] | Fig 21 — 40 G over 10 G FCT speed-up |
 //! | [`table3_queue`] | Table 3 — queue occupancy by scheme/workload/load |
 //! | [`ablations`] | design-choice ablations (drop policy, routing, §7 features) |
+//! | [`fault_recovery`] | robustness — re-convergence after injected faults |
 
 
 #![warn(missing_docs)]
 pub mod ablations;
+pub mod fault_recovery;
 pub mod fig01_queue_buildup;
 pub mod fig02_naive_convergence;
 pub mod fig05_buffer_breakdown;

@@ -145,6 +145,27 @@ impl<'a> Ctx<'a> {
     pub fn count_wasted_credit(&mut self) {
         self.net.count_wasted_credit(self.flow);
     }
+
+    /// Give up on this flow (e.g. connection-establishment retries
+    /// exhausted). The flow counts as settled for
+    /// [`run_until_done`](Network::run_until_done), its record reports
+    /// [`FlowOutcome::Aborted`](crate::network::FlowOutcome::Aborted), and
+    /// `counters.flows_aborted` increments. Idempotent; a no-op once done.
+    pub fn abort_flow(&mut self) {
+        self.net.abort_flow(self.flow);
+    }
+
+    /// True once this flow was aborted.
+    pub fn flow_aborted(&self) -> bool {
+        self.net.flow_aborted(self.flow)
+    }
+
+    /// Flag (or clear) a forward-progress stall on this flow's record.
+    /// Purely observational — the flow keeps running and the flag clears
+    /// automatically when it completes.
+    pub fn set_stalled(&mut self, stalled: bool) {
+        self.net.mark_stalled(self.flow, stalled);
+    }
 }
 
 /// Helper tracking the latest armed generation of one timer kind, so

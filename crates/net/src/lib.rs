@@ -22,6 +22,8 @@
 //!   ECMP (paper §3.1).
 //! * [`endpoint`] — the `Endpoint` trait all congestion-control protocols
 //!   implement, plus the `Ctx` handle they act through.
+//! * [`faults`] — deterministic fault-injection schedules: link failures,
+//!   lossy/corrupting links, and host pauses, replayable from the run seed.
 //! * [`network`] — the event loop tying everything together.
 //! * [`config`] — per-run knobs (queue capacity, ECN K, credit queue size,
 //!   host jitter model, …).
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 pub mod config;
 pub mod endpoint;
+pub mod faults;
 pub mod ids;
 pub mod network;
 pub mod packet;
@@ -41,7 +44,8 @@ pub mod topology;
 
 pub use config::NetConfig;
 pub use endpoint::{Ctx, Endpoint, EndpointFactory};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{DLinkId, FlowId, HostId, NodeId, Side, SwitchId};
-pub use network::{Controller, FlowRecord, Network, NoController};
+pub use network::{Controller, FlowOutcome, FlowRecord, Network, NoController};
 pub use packet::{Packet, PktKind};
 pub use topology::Topology;

@@ -13,9 +13,12 @@
 //! * `FlowStart` — activate a flow's endpoints.
 //! * `RcpUpdate` — periodic per-link RCP rate computation.
 //! * `Sample` — periodic statistics sampling (flow throughput, queue depth).
+//! * `Fault` — a scheduled fault-injection event from an installed
+//!   [`FaultPlan`] fires (see [`crate::faults`]).
 
 use crate::config::NetConfig;
 use crate::endpoint::{Ctx, Endpoint, EndpointFactory, FlowInfo};
+use crate::faults::{FaultKind, FaultPlan, FaultState, FAULT_RNG_SALT};
 use crate::ids::{DLinkId, FlowId, HostId, NodeId, Side};
 use crate::packet::{Packet, PktKind};
 use crate::port::{EgressPort, TxDecision};
@@ -38,10 +41,11 @@ enum Ev {
     FlowStart { flow: FlowId },
     RcpUpdate { dlink: DLinkId },
     Sample,
+    Fault { kind: FaultKind },
 }
 
 /// Global run counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Credit packets emitted by receivers.
     pub credits_sent: u64,
@@ -55,10 +59,31 @@ pub struct Counters {
     pub payload_delivered: u64,
     /// Data packets ECN-marked.
     pub ecn_marked: u64,
+    /// Fault events applied from an installed [`FaultPlan`].
+    pub faults_injected: u64,
+    /// Packets discarded as corrupted (CRC-drop) by an injected fault.
+    pub pkts_corrupted: u64,
+    /// Packets lost to injected faults: dead-link arrivals, random link
+    /// loss, flushed backlogs, and routing dead-ends (excludes corruption).
+    pub pkts_lost_to_faults: u64,
+    /// Flows aborted by their endpoints (e.g. SYN retries exhausted).
+    pub flows_aborted: u64,
+}
+
+/// How a flow ended (or is currently faring), on its [`FlowRecord`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowOutcome {
+    /// All bytes delivered.
+    Completed,
+    /// No forward progress for at least the endpoint's stall timeout; the
+    /// flow is still live and may yet complete.
+    Stalled,
+    /// The endpoint gave up (e.g. SYN retransmissions exhausted).
+    Aborted,
 }
 
 /// Per-flow outcome, available after (or during) a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlowRecord {
     /// Flow id.
     pub id: FlowId,
@@ -76,6 +101,9 @@ pub struct FlowRecord {
     pub credits_sent: u64,
     /// Credits wasted (arrived at sender with nothing to send).
     pub credits_wasted: u64,
+    /// Outcome so far: `None` while running normally, otherwise the latest
+    /// of Completed / Stalled / Aborted.
+    pub outcome: Option<FlowOutcome>,
 }
 
 struct FlowRuntime {
@@ -88,6 +116,8 @@ struct FlowRuntime {
     timer_gen: u64,
     credits_sent: u64,
     credits_wasted: u64,
+    aborted: bool,
+    stalled: bool,
 }
 
 /// Out-of-band run orchestration: reacts to flow lifecycle events with full
@@ -122,6 +152,10 @@ pub struct Network {
     controller: Option<Box<dyn Controller>>,
     pending: Vec<Pending>,
     completed: usize,
+    aborted: usize,
+    /// Fault-injection state; `None` unless a plan was installed, and every
+    /// fault hook is gated on that so fault-free runs are byte-identical.
+    faults: Option<FaultState>,
     /// Global counters.
     counters: Counters,
     // --- sampling ---
@@ -202,6 +236,8 @@ impl Network {
             controller: None,
             pending: Vec::new(),
             completed: 0,
+            aborted: 0,
+            faults: None,
             counters: Counters::default(),
             sample_interval: None,
             sample_scheduled: false,
@@ -258,6 +294,8 @@ impl Network {
             timer_gen: 0,
             credits_sent: 0,
             credits_wasted: 0,
+            aborted: false,
+            stalled: false,
         });
         self.events.push(start, Ev::FlowStart { flow: id });
         id
@@ -266,6 +304,34 @@ impl Network {
     /// Install a run controller.
     pub fn set_controller(&mut self, c: Box<dyn Controller>) {
         self.controller = Some(c);
+    }
+
+    /// Install (or extend) a deterministic fault schedule. Events must not
+    /// be in the past; they apply through the event loop at their scheduled
+    /// times. Loss/corruption draws use a dedicated RNG seeded from the run
+    /// seed, so runs with the same seed and plan replay bit-identically —
+    /// and runs with no plan never touch the fault path at all.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        let n_dlinks = self.topo.dlinks.len();
+        let n_hosts = self.topo.n_hosts;
+        let seed = self.cfg.seed;
+        self.faults
+            .get_or_insert_with(|| FaultState::new(n_dlinks, n_hosts, Rng::new(seed ^ FAULT_RNG_SALT)));
+        for ev in plan.events {
+            assert!(ev.at >= self.now, "fault event scheduled in the past");
+            match ev.kind {
+                FaultKind::LinkDown { dlink, .. }
+                | FaultKind::LinkUp { dlink }
+                | FaultKind::SetLoss { dlink, .. }
+                | FaultKind::SetCorrupt { dlink, .. } => {
+                    assert!((dlink.0 as usize) < n_dlinks, "fault on unknown dlink {dlink:?}");
+                }
+                FaultKind::HostPause { host } | FaultKind::HostResume { host } => {
+                    assert!((host.0 as usize) < n_hosts, "fault on unknown host {host}");
+                }
+            }
+            self.events.push(ev.at, Ev::Fault { kind: ev.kind });
+        }
     }
 
     /// Enable periodic sampling with this interval (required before
@@ -309,11 +375,11 @@ impl Network {
     }
 
     /// Run until every flow added so far (and any added by controllers
-    /// during the run) completes, or until `cap`. Returns the time the last
-    /// flow completed (or `cap`).
+    /// during the run) settles — completes or is aborted by its endpoint —
+    /// or until `cap`. Returns the time the last flow settled (or `cap`).
     pub fn run_until_done(&mut self, cap: SimTime) -> SimTime {
         let mut last_done = self.now;
-        while self.completed < self.flows.len() {
+        while self.completed + self.aborted < self.flows.len() {
             match self.events.pop() {
                 Some((et, ev)) => {
                     if et > cap {
@@ -321,9 +387,9 @@ impl Network {
                         return cap;
                     }
                     self.now = et;
-                    let before = self.completed;
+                    let before = self.completed + self.aborted;
                     self.handle(ev);
-                    if self.completed > before {
+                    if self.completed + self.aborted > before {
                         last_done = self.now;
                     }
                 }
@@ -429,6 +495,16 @@ impl Network {
         self.flows[flow.0 as usize].done
     }
 
+    /// Number of aborted flows.
+    pub fn aborted_count(&self) -> usize {
+        self.aborted
+    }
+
+    /// True once a flow's endpoint aborted it.
+    pub fn flow_aborted(&self, flow: FlowId) -> bool {
+        self.flows[flow.0 as usize].aborted
+    }
+
     /// Per-flow outcome records.
     pub fn flow_records(&self) -> Vec<FlowRecord> {
         self.flows
@@ -442,6 +518,15 @@ impl Network {
                 fct: f.fct,
                 credits_sent: f.credits_sent,
                 credits_wasted: f.credits_wasted,
+                outcome: if f.done {
+                    Some(FlowOutcome::Completed)
+                } else if f.aborted {
+                    Some(FlowOutcome::Aborted)
+                } else if f.stalled {
+                    Some(FlowOutcome::Stalled)
+                } else {
+                    None
+                },
             })
             .collect()
     }
@@ -503,6 +588,12 @@ impl Network {
             self.counters.credits_sent += 1;
             self.flows[pkt.flow.0 as usize].credits_sent += 1;
         }
+        if let Some(st) = self.faults.as_mut() {
+            if st.paused[pkt.src.0 as usize] {
+                st.stash_tx.push(pkt);
+                return;
+            }
+        }
         let dl = self.topo.host_uplink[pkt.src.0 as usize];
         self.enqueue_at(dl, pkt);
     }
@@ -531,6 +622,23 @@ impl Network {
     pub(crate) fn count_wasted_credit(&mut self, flow: FlowId) {
         self.counters.credits_wasted += 1;
         self.flows[flow.0 as usize].credits_wasted += 1;
+    }
+
+    pub(crate) fn abort_flow(&mut self, flow: FlowId) {
+        let f = &mut self.flows[flow.0 as usize];
+        if f.done || f.aborted {
+            return;
+        }
+        f.aborted = true;
+        self.aborted += 1;
+        self.counters.flows_aborted += 1;
+    }
+
+    pub(crate) fn mark_stalled(&mut self, flow: FlowId, stalled: bool) {
+        let f = &mut self.flows[flow.0 as usize];
+        if !f.done && !f.aborted {
+            f.stalled = stalled;
+        }
     }
 
     // ----- event handling ----------------------------------------------------
@@ -565,10 +673,99 @@ impl Network {
                 }
             }
             Ev::Sample => self.on_sample(),
+            Ev::Fault { kind } => self.apply_fault(kind),
         }
     }
 
+    /// Apply one scheduled fault event (only reachable with a plan installed).
+    fn apply_fault(&mut self, kind: FaultKind) {
+        self.counters.faults_injected += 1;
+        let now = self.now;
+        let st = self.faults.as_mut().expect("Ev::Fault without fault state");
+        match kind {
+            FaultKind::LinkDown { dlink, flush } => {
+                let lf = &mut st.links[dlink.0 as usize];
+                lf.down = true;
+                lf.frozen = !flush;
+                if flush {
+                    let port = &mut self.ports[dlink.0 as usize];
+                    let mut dropped = port.data.flush(now);
+                    if let Some(cq) = port.credit.as_mut() {
+                        dropped += cq.flush(now);
+                    }
+                    self.counters.pkts_lost_to_faults += dropped as u64;
+                }
+            }
+            FaultKind::LinkUp { dlink } => {
+                let lf = &mut st.links[dlink.0 as usize];
+                lf.down = false;
+                lf.frozen = false;
+                // Frozen backlog (and anything enqueued while down) resumes.
+                self.events.push(now, Ev::PortWake { dlink });
+            }
+            FaultKind::SetLoss { dlink, data, credit } => {
+                let lf = &mut st.links[dlink.0 as usize];
+                lf.loss_data = data;
+                lf.loss_credit = credit;
+            }
+            FaultKind::SetCorrupt { dlink, prob } => {
+                st.links[dlink.0 as usize].corrupt = prob;
+            }
+            FaultKind::HostPause { host } => {
+                st.paused[host.0 as usize] = true;
+            }
+            FaultKind::HostResume { host } => {
+                st.paused[host.0 as usize] = false;
+                let (rx, keep_rx): (Vec<_>, Vec<_>) =
+                    st.stash_rx.drain(..).partition(|p| p.dst == host);
+                st.stash_rx = keep_rx;
+                let (tx, keep_tx): (Vec<_>, Vec<_>) =
+                    st.stash_tx.drain(..).partition(|p| p.src == host);
+                st.stash_tx = keep_tx;
+                // Replay in original order: arrivals deliver now, emissions
+                // re-enter the host's uplink queue.
+                for pkt in rx {
+                    self.events.push(now, Ev::HostRx { pkt });
+                }
+                for pkt in tx {
+                    let dl = self.topo.host_uplink[pkt.src.0 as usize];
+                    self.enqueue_at(dl, pkt);
+                }
+            }
+        }
+    }
+
+    /// Fault-layer arrival filter: returns true when the packet is consumed
+    /// (lost or corrupted) by the link it just traversed. Caller guarantees
+    /// a plan is installed.
+    fn fault_filter_arrival(&mut self, dlink: DLinkId, pkt: &Packet) -> bool {
+        let st = self.faults.as_mut().expect("fault filter without state");
+        let lf = st.links[dlink.0 as usize];
+        if lf.down {
+            // The link died while this packet was in flight on the wire.
+            self.counters.pkts_lost_to_faults += 1;
+            return true;
+        }
+        let loss_p = if pkt.kind == PktKind::Credit {
+            lf.loss_credit
+        } else {
+            lf.loss_data
+        };
+        if loss_p > 0.0 && st.rng.chance(loss_p) {
+            self.counters.pkts_lost_to_faults += 1;
+            return true;
+        }
+        if lf.corrupt > 0.0 && st.rng.chance(lf.corrupt) {
+            self.counters.pkts_corrupted += 1;
+            return true;
+        }
+        false
+    }
+
     fn on_arrive(&mut self, dlink: DLinkId, pkt: Packet) {
+        if self.faults.is_some() && self.fault_filter_arrival(dlink, &pkt) {
+            return;
+        }
         let to = self.topo.dlinks[dlink.0 as usize].to;
         match to {
             NodeId::Switch(sw) => {
@@ -578,13 +775,35 @@ impl Network {
                     "switch {sw} has no route to {}",
                     pkt.dst
                 );
-                let idx = match self.cfg.routing {
-                    crate::config::RoutingMode::EcmpSymmetric => {
-                        ecmp_index(pkt.src, pkt.dst, pkt.flow, choices.len())
+                let out = if let Some(st) = self.faults.as_ref() {
+                    // Routing excludes dead links: re-hash ECMP over the
+                    // surviving choices (next-Arrive granularity, like a
+                    // switch reacting to loss-of-signal).
+                    let live: Vec<DLinkId> = choices
+                        .iter()
+                        .copied()
+                        .filter(|d| !st.links[d.0 as usize].down)
+                        .collect();
+                    if live.is_empty() {
+                        self.counters.pkts_lost_to_faults += 1;
+                        return;
                     }
-                    crate::config::RoutingMode::PacketSpray => self.rng.index(choices.len()),
+                    let idx = match self.cfg.routing {
+                        crate::config::RoutingMode::EcmpSymmetric => {
+                            ecmp_index(pkt.src, pkt.dst, pkt.flow, live.len())
+                        }
+                        crate::config::RoutingMode::PacketSpray => self.rng.index(live.len()),
+                    };
+                    live[idx]
+                } else {
+                    let idx = match self.cfg.routing {
+                        crate::config::RoutingMode::EcmpSymmetric => {
+                            ecmp_index(pkt.src, pkt.dst, pkt.flow, choices.len())
+                        }
+                        crate::config::RoutingMode::PacketSpray => self.rng.index(choices.len()),
+                    };
+                    choices[idx]
                 };
-                let out = choices[idx];
                 self.enqueue_at(out, pkt);
             }
             NodeId::Host(h) => {
@@ -599,6 +818,21 @@ impl Network {
 
     fn enqueue_at(&mut self, dlink: DLinkId, pkt: Packet) {
         let now = self.now;
+        let mut suppress_wake = false;
+        if let Some(st) = self.faults.as_ref() {
+            let lf = st.links[dlink.0 as usize];
+            if lf.down {
+                if lf.frozen {
+                    // Lossless pause: the queue keeps accepting (subject to
+                    // its normal capacity) but the transmitter stays asleep.
+                    suppress_wake = true;
+                } else {
+                    // Hard-down port: arrivals are lost outright.
+                    self.counters.pkts_lost_to_faults += 1;
+                    return;
+                }
+            }
+        }
         let rng = &mut self.rng;
         let port = &mut self.ports[dlink.0 as usize];
         let accepted = match pkt.kind {
@@ -630,12 +864,17 @@ impl Network {
             }
         };
         let _ = accepted;
-        if !port.is_busy(now) {
+        if !suppress_wake && !port.is_busy(now) {
             self.events.push(now, Ev::PortWake { dlink });
         }
     }
 
     fn port_wake(&mut self, dlink: DLinkId) {
+        if let Some(st) = self.faults.as_ref() {
+            if st.links[dlink.0 as usize].down {
+                return; // downed transmitter; LinkUp re-wakes it
+            }
+        }
         let now = self.now;
         let port = &mut self.ports[dlink.0 as usize];
         match port.try_transmit(now) {
@@ -653,6 +892,12 @@ impl Network {
     }
 
     fn on_host_rx(&mut self, pkt: Packet) {
+        if let Some(st) = self.faults.as_mut() {
+            if st.paused[pkt.dst.0 as usize] {
+                st.stash_rx.push(pkt);
+                return;
+            }
+        }
         let flow = pkt.flow;
         if (flow.0 as usize) >= self.flows.len() {
             return;
@@ -733,9 +978,9 @@ impl Network {
                 s.push(now, bytes as f64);
             }
         }
-        // Keep sampling while work remains; stop once everything completed
+        // Keep sampling while work remains; stop once everything settled
         // so `run_until_done` terminates.
-        if self.completed < self.flows.len() {
+        if self.completed + self.aborted < self.flows.len() {
             self.events.push(now + interval, Ev::Sample);
         } else {
             self.sample_scheduled = false;
@@ -863,6 +1108,62 @@ mod tests {
         // Data was sent first and both share the FIFO data class: with
         // deterministic host delay the ctrl packet cannot overtake.
         assert!(d < c);
+    }
+
+    #[test]
+    fn stale_timer_firings_are_suppressed_by_generation() {
+        use crate::endpoint::TimerSlot;
+
+        /// Sender that arms the same [`TimerSlot`] twice in `on_start`
+        /// (re-arming before the first firing), then logs which firings
+        /// the slot accepts. The first generation is stale by the time it
+        /// fires and must be ignored.
+        struct Rearm {
+            log: Rc<RefCell<Vec<String>>>,
+            slot: TimerSlot,
+        }
+        impl Endpoint for Rearm {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.slot.arm(ctx, 9, Dur::us(10));
+                self.slot.arm(ctx, 9, Dur::us(20)); // supersedes the first
+            }
+            fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, kind: u8, gen: u64, _ctx: &mut Ctx<'_>) {
+                let verdict = if self.slot.matches(gen) { "live" } else { "stale" };
+                self.log.borrow_mut().push(format!("timer:{kind}:{verdict}"));
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let topo = crate::topology::Topology::dumbbell(1, G10, Dur::us(1));
+        let cfg = NetConfig::default().with_seed(1);
+        let l2 = log.clone();
+        let mut net = Network::new(
+            topo,
+            cfg,
+            Box::new(move |side, _info| -> Box<dyn Endpoint> {
+                match side {
+                    Side::Sender => Box::new(Rearm {
+                        log: l2.clone(),
+                        slot: TimerSlot::new(),
+                    }),
+                    Side::Receiver => Box::new(Probe {
+                        log: Rc::new(RefCell::new(Vec::new())),
+                        side: "rx",
+                        echo_data: false,
+                    }),
+                }
+            }),
+        );
+        net.add_flow(HostId(0), HostId(1), 1000, SimTime::ZERO);
+        net.run_until(SimTime::ZERO + Dur::ms(1));
+        // Both armings fire as events, but only the latest generation is
+        // accepted — the superseded one is filtered as stale.
+        let entries = log.borrow().clone();
+        assert_eq!(entries, vec!["timer:9:stale", "timer:9:live"]);
     }
 
     #[test]

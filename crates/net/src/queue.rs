@@ -143,6 +143,17 @@ impl DataQueue {
         Some(pkt)
     }
 
+    /// Drop every queued packet (hard port reset, e.g. a flushing link
+    /// failure). Returns the number of packets discarded; they are *not*
+    /// counted in `stats.dropped`, which tracks tail drops only.
+    pub fn flush(&mut self, now: SimTime) -> usize {
+        let n = self.q.len();
+        self.q.clear();
+        self.len_bytes = 0;
+        self.stats.occupancy.set(now, 0.0);
+        n
+    }
+
     /// Current length in bytes.
     pub fn len_bytes(&self) -> u64 {
         self.len_bytes
@@ -327,6 +338,18 @@ impl CreditQueue {
         self.stats.occupancy.set(now, self.len() as f64);
         pkt.qdelay += now.since(pkt.enq_t);
         Some(pkt)
+    }
+
+    /// Drop every queued credit across all classes without touching the
+    /// meter (hard port reset). Returns the number discarded; not counted
+    /// in `stats.dropped`, which is the congestion signal.
+    pub fn flush(&mut self, now: SimTime) -> usize {
+        let n = self.len();
+        for q in &mut self.qs {
+            q.clear();
+        }
+        self.stats.occupancy.set(now, 0.0);
+        n
     }
 
     /// Credits currently queued across all classes.

@@ -78,7 +78,7 @@ impl RcpLink {
 
     /// The control interval: `min(avg RTT, 10 ms)`, the RCP default.
     pub fn update_interval(&self) -> Dur {
-        Dur::from_secs_f64(self.avg_rtt.min(0.01).max(1e-6))
+        Dur::from_secs_f64(self.avg_rtt.clamp(1e-6, 0.01))
     }
 
     /// Record a data packet traversing the port: accumulate the input-rate
@@ -164,7 +164,7 @@ mod tests {
     fn queue_pressure_lowers_rate() {
         let mut l = RcpLink::new(C, RcpParams::default());
         let before = l.rate_bps();
-        l.bytes_in = (C / 8 / 10_000) as u64; // input ≈ capacity over 100us
+        l.bytes_in = C / 8 / 10_000; // input ≈ capacity over 100us
         l.update(SimTime::ZERO + Dur::us(100), 500_000); // big queue
         assert!(l.rate_bps() < before);
     }

@@ -150,7 +150,7 @@ impl TopoBuilder {
                     }
                 }
             }
-            for s in 0..n_switches {
+            for (s, per_dst) in routes.iter_mut().enumerate().take(n_switches) {
                 let u = n_hosts + s;
                 if dist[u] == u32::MAX {
                     continue; // switch cannot reach this host
@@ -165,7 +165,7 @@ impl TopoBuilder {
                     .collect();
                 // Deterministic ECMP: sort by neighbor address.
                 hops.sort_by_key(|&dl| dlinks[dl.0 as usize].to.sort_key());
-                routes[s][dst] = hops;
+                per_dst[dst] = hops;
             }
         }
 
@@ -268,7 +268,47 @@ impl Topology {
             i += 1;
         }
         assert!(removed == 2, "no cable between {a:?} and {b:?}");
-        builder.build(&format!("{}-minus-cable", self.name))
+        let topo = builder.build(&format!("{}-minus-cable", self.name));
+        // Enforce the documented invariant: the link graph is symmetric
+        // (cables are directed pairs and we removed both directions), so
+        // reachability from one host covers every pair.
+        let reachable = topo.connected_host_count();
+        assert!(
+            reachable == topo.n_hosts,
+            "removing cable {a:?}-{b:?} disconnects the network \
+             ({reachable}/{} hosts reachable)",
+            topo.n_hosts
+        );
+        topo
+    }
+
+    /// Number of hosts reachable from host 0 over directed links (the whole
+    /// host set iff the topology is connected, since cables are symmetric
+    /// directed pairs).
+    fn connected_host_count(&self) -> usize {
+        let n_nodes = self.n_hosts + self.n_switches;
+        let node_index = |n: NodeId| -> usize {
+            match n {
+                NodeId::Host(HostId(h)) => h as usize,
+                NodeId::Switch(SwitchId(s)) => self.n_hosts + s as usize,
+            }
+        };
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+        for l in &self.dlinks {
+            adj[node_index(l.from)].push(node_index(l.to));
+        }
+        let mut seen = vec![false; n_nodes];
+        seen[0] = true;
+        let mut q = VecDeque::from([0usize]);
+        while let Some(u) = q.pop_front() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+        seen.iter().take(self.n_hosts).filter(|&&s| s).count()
     }
 
     // ----- canonical topologies -------------------------------------------
@@ -334,7 +374,7 @@ impl Topology {
     /// Switch id layout: ToRs `[0, k²/2)`, aggs `[k²/2, k²)`,
     /// cores `[k², k² + k²/4)`.
     pub fn fat_tree(k: usize, host_bps: u64, up_bps: u64, prop: Dur) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat tree requires even k");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat tree requires even k");
         let half = k / 2;
         let mut b = TopoBuilder::new();
         let hosts = b.add_hosts(k * half * half);
@@ -391,7 +431,10 @@ impl Topology {
         core_bps: u64,
         prop: Dur,
     ) -> Topology {
-        assert!(cores % aggs_per_pod == 0, "cores must split evenly over agg groups");
+        assert!(
+            cores.is_multiple_of(aggs_per_pod),
+            "cores must split evenly over agg groups"
+        );
         let cores_per_group = cores / aggs_per_pod;
         let mut b = TopoBuilder::new();
         let hosts = b.add_hosts(pods * tors_per_pod * hosts_per_tor);

@@ -22,7 +22,7 @@ fn main() {
         let topo = Topology::dumbbell(2, link, rtt / 12);
         let mut net = scheme.build(topo, link, 3);
         net.set_sample_interval(rtt);
-        let bytes = (link / 8) as u64;
+        let bytes = link / 8;
         net.add_flow(HostId(0), HostId(2), bytes, SimTime::ZERO);
         let join = SimTime::ZERO + Dur::ms(8);
         let late = net.add_flow(HostId(1), HostId(3), bytes, join);

@@ -1,0 +1,18 @@
+//! Fault injection demo: ExpressPass flows ride through a mid-run credit
+//! storm and a ToR–agg link failure, printing the aggregate goodput trace
+//! around the fault and the recovery verdicts.
+//!
+//! Run with: `cargo run --release --example fault_recovery`
+
+use xpass::experiments::fault_recovery::{run, Config};
+
+fn main() {
+    let cfg = Config::default();
+    println!(
+        "Injecting: 80% credit loss on the bottleneck during [{}, {}), \
+         then a frozen ToR-agg cable over the same window.\n",
+        cfg.fault_at, cfg.fault_clear
+    );
+    let result = run(&cfg);
+    println!("{result}");
+}

@@ -155,6 +155,11 @@ fn experiments() -> Vec<Experiment> {
             what: "design-choice ablations",
             run: |_| ex::ablations::run(&Default::default()).to_string(),
         },
+        Experiment {
+            name: "faults",
+            what: "fault injection: re-convergence after failures",
+            run: |_| ex::fault_recovery::run(&Default::default()).to_string(),
+        },
     ]
 }
 
