@@ -104,9 +104,8 @@ impl CongestionControl for CubicCc {
                 // TCP-friendly region (RFC 8312 §4.2): a Reno-equivalent
                 // window growing at 3(1−β)/(1+β) per RTT; at datacenter
                 // RTTs it dominates the slow cubic ramp.
-                self.w_tcp += 3.0 * (1.0 - self.beta) / (1.0 + self.beta)
-                    * ev.newly_acked as f64
-                    / self.cwnd;
+                self.w_tcp +=
+                    3.0 * (1.0 - self.beta) / (1.0 + self.beta) * ev.newly_acked as f64 / self.cwnd;
                 let mut next = self.cwnd;
                 if target > next {
                     next += (target - next).min(ev.newly_acked as f64);
@@ -178,7 +177,11 @@ mod tests {
         }
         // Roughly +1 per window (each ack uses the already-grown cwnd, so
         // the total is slightly under 1).
-        assert!((w0 + 0.85..=w0 + 1.05).contains(&cc.cwnd()), "{}", cc.cwnd());
+        assert!(
+            (w0 + 0.85..=w0 + 1.05).contains(&cc.cwnd()),
+            "{}",
+            cc.cwnd()
+        );
     }
 
     #[test]

@@ -124,7 +124,9 @@ impl MaxMinOracle {
                     best = Some((l, share));
                 }
             }
-            let Some((bottleneck, share)) = best else { break };
+            let Some((bottleneck, share)) = best else {
+                break;
+            };
             let fixed: Vec<u32> = link_flows[&bottleneck]
                 .iter()
                 .copied()

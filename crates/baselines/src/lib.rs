@@ -21,7 +21,6 @@
 //! * [`udp`] — uncredited constant-rate traffic for the §7 coexistence
 //!   experiments.
 
-
 #![warn(missing_docs)]
 pub mod cubic;
 pub mod dctcp;

@@ -179,7 +179,12 @@ mod tests {
         let mut net = naive_net(Topology::dumbbell(2, G10, Dur::us(5)), 71);
         net.set_sample_interval(Dur::us(25));
         let a = net.add_flow(HostId(0), HostId(2), 100_000_000, SimTime::ZERO);
-        let b = net.add_flow(HostId(1), HostId(3), 100_000_000, SimTime::ZERO + Dur::ms(1));
+        let b = net.add_flow(
+            HostId(1),
+            HostId(3),
+            100_000_000,
+            SimTime::ZERO + Dur::ms(1),
+        );
         net.track_flow(a);
         net.track_flow(b);
         net.run_until(SimTime::ZERO + Dur::ms(2));
@@ -233,10 +238,7 @@ mod tests {
         let bytes = net.port(dl).tx_data_bytes;
         let util = bytes as f64 * 8.0 / (10e9 * 0.005);
         // Clearly below the ~95% a feedback scheme achieves, but nontrivial.
-        assert!(
-            (0.55..0.93).contains(&util),
-            "link1 utilization {util}"
-        );
+        assert!((0.55..0.93).contains(&util), "link1 utilization {util}");
     }
 
     use xpass_net::ids::NodeId;

@@ -364,7 +364,11 @@ impl<C: CongestionControl> Endpoint for WindowSender<C> {
         let size = ctx.info().size_bytes;
         self.n_pkts = size.div_ceil(MSS as u64).max(1);
         let rem = (size % MSS as u64) as u32;
-        self.last_payload = if rem == 0 && size > 0 { MSS } else { rem.max(1) };
+        self.last_payload = if rem == 0 && size > 0 {
+            MSS
+        } else {
+            rem.max(1)
+        };
         // Three-way handshake: data flows after the SYN-ACK (the paper's
         // ExpressPass likewise starts credits after its handshake).
         self.send_syn(ctx);
@@ -373,9 +377,7 @@ impl<C: CongestionControl> Endpoint for WindowSender<C> {
     fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) {
         match pkt.kind {
             PktKind::Ack => self.on_ack_pkt(pkt, ctx),
-            PktKind::Ctrl
-                if pkt.flag == xpass_net::packet::ctrl::SYN && !self.established =>
-            {
+            PktKind::Ctrl if pkt.flag == xpass_net::packet::ctrl::SYN && !self.established => {
                 // SYN-ACK (receiver echoes the SYN flag).
                 self.established = true;
                 self.syn_slot.cancel();

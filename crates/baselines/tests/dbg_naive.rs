@@ -10,15 +10,29 @@ use xpass_sim::time::{Dur, SimTime};
 fn dbg_naive_join() {
     let topo = Topology::dumbbell(2, 10_000_000_000, Dur::us(5));
     let mut cfg = NetConfig::expresspass().with_seed(71);
-    cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    cfg.host_delay = HostDelayModel {
+        min: Dur::us(1),
+        max: Dur::us(1),
+    };
     let mut net = Network::new(topo, cfg, naive_credit_factory());
     let a = net.add_flow(HostId(0), HostId(2), 100_000_000, SimTime::ZERO);
-    let b = net.add_flow(HostId(1), HostId(3), 100_000_000, SimTime::ZERO + Dur::ms(1));
+    let b = net.add_flow(
+        HostId(1),
+        HostId(3),
+        100_000_000,
+        SimTime::ZERO + Dur::ms(1),
+    );
     let (mut la, mut lb) = (0u64, 0u64);
     for step in 0..30u64 {
         net.run_until(SimTime::ZERO + Dur::us(100 * (step + 1)));
         let (da, db) = (net.delivered_bytes(a), net.delivered_bytes(b));
-        println!("t={}us a={:.2}G b={:.2}G", 100*(step+1), (da-la) as f64*8.0/1e4/1e1, (db-lb) as f64*8.0/1e4/1e1);
-        la = da; lb = db;
+        println!(
+            "t={}us a={:.2}G b={:.2}G",
+            100 * (step + 1),
+            (da - la) as f64 * 8.0 / 1e4 / 1e1,
+            (db - lb) as f64 * 8.0 / 1e4 / 1e1
+        );
+        la = da;
+        lb = db;
     }
 }

@@ -11,7 +11,6 @@
 //! parameters where a `paper_scale()` configuration exists (expect long
 //! runtimes).
 
-
 #![warn(missing_docs)]
 use std::time::Instant;
 

@@ -204,7 +204,10 @@ mod tests {
         let fast = time(1.0);
         let slow = time(1.0 / 32.0);
         assert!(fast <= 10, "alpha=1 took {fast} periods");
-        assert!(slow > fast, "alpha=1/32 ({slow}) not slower than alpha=1 ({fast})");
+        assert!(
+            slow > fast,
+            "alpha=1/32 ({slow}) not slower than alpha=1 ({fast})"
+        );
     }
 
     #[test]

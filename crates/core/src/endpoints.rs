@@ -27,6 +27,7 @@ use xpass_net::packet::{
     ctrl, data_wire_size, flags, Packet, PktKind, CREDIT_SIZE, CREDIT_SIZE_MAX, CTRL_SIZE, MSS,
 };
 use xpass_sim::time::{Dur, SimTime};
+use xpass_sim::trace::TraceEvent;
 
 /// Timer kinds used by the ExpressPass endpoints.
 mod timer {
@@ -285,8 +286,7 @@ impl XPassReceiver {
             return;
         }
         let in_flight = self.credit_seq.saturating_sub(self.last_echo);
-        let expected_survivors =
-            (in_flight as f64 * (1.0 - self.cfg.target_loss)) as u64;
+        let expected_survivors = (in_flight as f64 * (1.0 - self.cfg.target_loss)) as u64;
         let remaining = (size - delivered).div_ceil(MSS as u64);
         if expected_survivors >= remaining {
             self.paused = true;
@@ -342,7 +342,8 @@ impl XPassReceiver {
         self.credit_seq += 1;
         self.period_sent += 1;
         let size = if self.cfg.randomize_credit_size {
-            ctx.rng().range_u64(CREDIT_SIZE as u64, CREDIT_SIZE_MAX as u64) as u32
+            ctx.rng()
+                .range_u64(CREDIT_SIZE as u64, CREDIT_SIZE_MAX as u64) as u32
         } else {
             CREDIT_SIZE
         };
@@ -432,12 +433,18 @@ impl XPassReceiver {
             // drop. The cap leaves steady-state dynamics (losses near the
             // 10% target) untouched.
             let loss = (self.period_lost as f64 / observed as f64).min(0.5);
-            if std::env::var_os("XPASS_DBG_FLOW0").is_some() && ctx.flow.0 == 0 {
-                eprintln!("upd t={} sent={} recv={} lost={} loss={:.2} rate={:.0} w={:.3}",
-                    ctx.now(), self.period_sent, self.period_recv, self.period_lost, loss, fb.rate(), fb.w());
-            }
             fb.on_update(loss);
             self.silent_periods = 0;
+            if ctx.trace_enabled() {
+                let snap = fb.snapshot();
+                ctx.trace(TraceEvent::FeedbackUpdate {
+                    at: ctx.now(),
+                    flow: ctx.flow.0,
+                    loss,
+                    w: snap.w,
+                    rate_cps: snap.rate,
+                });
+            }
         } else if self.period_sent >= 4 && self.srtt.is_some() {
             // A meaningful number of credits went out and nothing echoed.
             // One silent period can be in-flight timing; three in a row is
@@ -452,6 +459,16 @@ impl XPassReceiver {
                 // with the post-decrease w near w_min.
                 fb.reset_w_for_recovery();
                 self.silent_periods = 0;
+                if ctx.trace_enabled() {
+                    let snap = fb.snapshot();
+                    ctx.trace(TraceEvent::FeedbackUpdate {
+                        at: ctx.now(),
+                        flow: ctx.flow.0,
+                        loss: 1.0,
+                        w: snap.w,
+                        rate_cps: snap.rate,
+                    });
+                }
             }
         }
         // else: nothing sent this period (deep throttle) — hold.
@@ -483,18 +500,13 @@ impl Endpoint for XPassReceiver {
     fn on_timer(&mut self, kind: u8, gen: u64, ctx: &mut Ctx<'_>) {
         match kind {
             timer::PACE
-                if self.pace_slot.matches(gen)
-                    && self.sending
-                    && !self.stopped
-                    && !self.paused =>
+                if self.pace_slot.matches(gen) && self.sending && !self.stopped && !self.paused =>
             {
                 self.send_credit(ctx);
                 self.arm_pace(ctx);
                 self.maybe_early_stop(ctx);
             }
-            timer::UPDATE
-                if self.update_slot.matches(gen) && self.sending && !self.stopped =>
-            {
+            timer::UPDATE if self.update_slot.matches(gen) && self.sending && !self.stopped => {
                 let delivered = ctx.delivered_bytes();
                 if self.paused && !ctx.flow_done() && delivered == self.delivered_at_update {
                     // Early-stop watchdog: a full update period passed
@@ -629,7 +641,11 @@ mod tests {
         }
         net.run_until_done(SimTime::ZERO + Dur::ms(100));
         assert_eq!(net.completed_count(), 16);
-        assert_eq!(net.total_data_drops(), 0, "credit scheme must not drop data");
+        assert_eq!(
+            net.total_data_drops(),
+            0,
+            "credit scheme must not drop data"
+        );
         assert!(
             net.counters().credits_dropped > 0,
             "16:1 overload must shed credits"

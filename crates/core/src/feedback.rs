@@ -20,6 +20,18 @@ pub fn max_credit_rate(link_bps: u64) -> f64 {
     link_bps as f64 / (8.0 * 1622.0)
 }
 
+/// A read-only view of the controller for telemetry, taken with
+/// [`CreditFeedback::snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeedbackSnapshot {
+    /// Current credit sending rate (credits/s).
+    pub rate: f64,
+    /// Current aggressiveness factor `w`.
+    pub w: f64,
+    /// The rate ceiling `max_rate · (1 + target_loss)` (credits/s).
+    pub ceiling: f64,
+}
+
 /// Algorithm 1 state for one flow.
 #[derive(Clone, Debug)]
 pub struct CreditFeedback {
@@ -62,6 +74,16 @@ impl CreditFeedback {
     /// The ceiling `C = max_rate · (1 + target_loss)`.
     pub fn ceiling(&self) -> f64 {
         self.max_rate * (1.0 + self.cfg.target_loss)
+    }
+
+    /// Controller state at a point in time, for telemetry
+    /// ([`TraceEvent::FeedbackUpdate`](xpass_sim::trace::TraceEvent)).
+    pub fn snapshot(&self) -> FeedbackSnapshot {
+        FeedbackSnapshot {
+            rate: self.cur_rate,
+            w: self.w,
+            ceiling: self.ceiling(),
+        }
     }
 
     /// One update period elapsed with the given measured credit loss
@@ -129,7 +151,11 @@ mod tests {
         for _ in 0..50 {
             fb.on_update(0.0);
         }
-        assert!((fb.rate() - fb.ceiling()).abs() < 0.01 * MAX, "{}", fb.rate());
+        assert!(
+            (fb.rate() - fb.ceiling()).abs() < 0.01 * MAX,
+            "{}",
+            fb.rate()
+        );
     }
 
     #[test]

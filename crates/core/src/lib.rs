@@ -24,7 +24,6 @@
 //! * [`analysis`] — the §4 discrete model: closed-form iteration of the
 //!   feedback recurrences demonstrating convergence to fair share (Fig 12).
 
-
 #![warn(missing_docs)]
 pub mod analysis;
 pub mod config;
@@ -34,4 +33,4 @@ pub mod netcalc;
 
 pub use config::XPassConfig;
 pub use endpoints::{xpass_factory, XPassReceiver, XPassSender};
-pub use feedback::CreditFeedback;
+pub use feedback::{CreditFeedback, FeedbackSnapshot};

@@ -78,17 +78,32 @@ impl HierTopo {
 
     /// The paper's "32-ary fat tree (10/40 Gbps)" row.
     pub fn fat32_10_40() -> HierTopo {
-        HierTopo::fat_tree(32, 10_000_000_000, 40_000_000_000, "32-ary fat tree (10/40G)")
+        HierTopo::fat_tree(
+            32,
+            10_000_000_000,
+            40_000_000_000,
+            "32-ary fat tree (10/40G)",
+        )
     }
 
     /// The paper's "32-ary fat tree (40/100 Gbps)" row.
     pub fn fat32_40_100() -> HierTopo {
-        HierTopo::fat_tree(32, 40_000_000_000, 100_000_000_000, "32-ary fat tree (40/100G)")
+        HierTopo::fat_tree(
+            32,
+            40_000_000_000,
+            100_000_000_000,
+            "32-ary fat tree (40/100G)",
+        )
     }
 
     /// The paper's "(100/100 Gbps)" configuration (Fig 5).
     pub fn fat32_100_100() -> HierTopo {
-        HierTopo::fat_tree(32, 100_000_000_000, 100_000_000_000, "32-ary fat tree (100/100G)")
+        HierTopo::fat_tree(
+            32,
+            100_000_000_000,
+            100_000_000_000,
+            "32-ary fat tree (100/100G)",
+        )
     }
 
     /// The paper's "3-tier Clos (10/40 Gbps)" row. Per-class bounds depend
@@ -253,12 +268,11 @@ pub fn buffer_bounds(topo: &HierTopo, p: &NetCalcParams) -> BufferBounds {
     let tor_from_below = DelayBound {
         d_min: (rt_host + nic.d_min).min(rt_ta + agg_from_below.d_min),
         d_max: dr_host.max(dr_ta)
-            + (rt_host + nic.d_max)
-                .max(rt_ta + agg_from_below.d_max + agg_from_below.spread()),
+            + (rt_host + nic.d_max).max(rt_ta + agg_from_below.d_max + agg_from_below.spread()),
     };
 
-    let data_rate_bps = topo.host_link.speed_bps as f64 * MAX_FRAME as f64
-        / (CREDIT_SIZE + MAX_FRAME) as f64;
+    let data_rate_bps =
+        topo.host_link.speed_bps as f64 * MAX_FRAME as f64 / (CREDIT_SIZE + MAX_FRAME) as f64;
     let to_bytes = |spread: Dur| -> u64 { (spread.as_secs_f64() * data_rate_bps / 8.0) as u64 };
     let bound = |b: DelayBound| PortBound {
         spread: b.spread(),
@@ -393,16 +407,17 @@ mod tests {
         let sw = tor_switch_total(&HierTopo::fat32_10_40(), &NetCalcParams::testbed());
         assert!(sw.total_bytes < 16_000_000, "{} bytes", sw.total_bytes);
         let sw100 = tor_switch_total(&HierTopo::fat32_100_100(), &NetCalcParams::testbed());
-        assert!(sw100.total_bytes < 256_000_000, "{} bytes", sw100.total_bytes);
+        assert!(
+            sw100.total_bytes < 256_000_000,
+            "{} bytes",
+            sw100.total_bytes
+        );
     }
 
     #[test]
     fn breakdown_components_consistent() {
         let sw = tor_switch_total(&HierTopo::fat32_10_40(), &NetCalcParams::testbed());
-        assert_eq!(
-            sw.total_bytes,
-            sw.data_bytes + sw.credit_static_bytes
-        );
+        assert_eq!(sw.total_bytes, sw.data_bytes + sw.credit_static_bytes);
         assert!(sw.host_spread_bytes < sw.data_bytes);
         assert!(sw.host_spread_bytes > 0);
         // Static credit buffers are tiny.

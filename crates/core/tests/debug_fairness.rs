@@ -10,7 +10,10 @@ use xpass_sim::time::{Dur, SimTime};
 fn dbg_two_flows() {
     let topo = Topology::dumbbell(2, 10_000_000_000, Dur::us(1));
     let mut net_cfg = NetConfig::expresspass().with_seed(13);
-    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    net_cfg.host_delay = HostDelayModel {
+        min: Dur::us(1),
+        max: Dur::us(1),
+    };
     let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
     let a = net.add_flow(HostId(0), HostId(2), 5_000_000, SimTime::ZERO);
     let b = net.add_flow(HostId(1), HostId(3), 5_000_000, SimTime::ZERO);
@@ -18,10 +21,31 @@ fn dbg_two_flows() {
         net.run_until(SimTime::ZERO + Dur::us(250 * (step + 1)));
         let da = net.delivered_bytes(a);
         let db = net.delivered_bytes(b);
-        let mut ra = 0.0; let mut rb = 0.0;
-        net.poke(a, Side::Receiver, |ep, _| { ra = ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate(); });
-        net.poke(b, Side::Receiver, |ep, _| { rb = ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate(); });
-        println!("t={}us a={} b={} rate_a={:.0} rate_b={:.0} cdrop={}", 250*(step+1), da, db, ra, rb, net.counters().credits_dropped);
+        let mut ra = 0.0;
+        let mut rb = 0.0;
+        net.poke(a, Side::Receiver, |ep, _| {
+            ra = ep
+                .as_any()
+                .downcast_mut::<XPassReceiver>()
+                .unwrap()
+                .credit_rate();
+        });
+        net.poke(b, Side::Receiver, |ep, _| {
+            rb = ep
+                .as_any()
+                .downcast_mut::<XPassReceiver>()
+                .unwrap()
+                .credit_rate();
+        });
+        println!(
+            "t={}us a={} b={} rate_a={:.0} rate_b={:.0} cdrop={}",
+            250 * (step + 1),
+            da,
+            db,
+            ra,
+            rb,
+            net.counters().credits_dropped
+        );
     }
 }
 
@@ -38,8 +62,17 @@ fn dbg_tiny_buffers() {
     }
     for step in 0..20 {
         net.run_until(SimTime::ZERO + Dur::ms(5 * (step + 1)));
-        let d: Vec<u64> = (0..8).map(|i| net.delivered_bytes(xpass_net::ids::FlowId(i))).collect();
-        println!("t={}ms delivered={:?} drops={} cdrops={} done={}", 5*(step+1), d, net.total_data_drops(), net.counters().credits_dropped, net.completed_count());
+        let d: Vec<u64> = (0..8)
+            .map(|i| net.delivered_bytes(xpass_net::ids::FlowId(i)))
+            .collect();
+        println!(
+            "t={}ms delivered={:?} drops={} cdrops={} done={}",
+            5 * (step + 1),
+            d,
+            net.total_data_drops(),
+            net.counters().credits_dropped,
+            net.completed_count()
+        );
     }
 }
 
@@ -48,7 +81,10 @@ fn dbg_tiny_buffers() {
 fn dbg_throughput() {
     let topo = Topology::dumbbell(1, 10_000_000_000, Dur::us(1));
     let mut net_cfg = NetConfig::expresspass().with_seed(11);
-    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    net_cfg.host_delay = HostDelayModel {
+        min: Dur::us(1),
+        max: Dur::us(1),
+    };
     let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
     let f = net.add_flow(HostId(0), HostId(1), 20_000_000, SimTime::ZERO);
     let mut last = 0u64;
@@ -56,10 +92,22 @@ fn dbg_throughput() {
         net.run_until(SimTime::ZERO + Dur::ms(2 * (step + 1)));
         let d = net.delivered_bytes(f);
         let mut rate = 0.0;
-        net.poke(f, Side::Receiver, |ep, _| { rate = ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate(); });
-        println!("t={}ms delta={:.3}Gbps rate={:.0} sent={} dropped={} wasted={}", 2*(step+1),
-            (d - last) as f64 * 8.0 / 0.002 / 1e9, rate,
-            net.counters().credits_sent, net.counters().credits_dropped, net.counters().credits_wasted);
+        net.poke(f, Side::Receiver, |ep, _| {
+            rate = ep
+                .as_any()
+                .downcast_mut::<XPassReceiver>()
+                .unwrap()
+                .credit_rate();
+        });
+        println!(
+            "t={}ms delta={:.3}Gbps rate={:.0} sent={} dropped={} wasted={}",
+            2 * (step + 1),
+            (d - last) as f64 * 8.0 / 0.002 / 1e9,
+            rate,
+            net.counters().credits_sent,
+            net.counters().credits_dropped,
+            net.counters().credits_wasted
+        );
         last = d;
     }
 }
@@ -69,7 +117,10 @@ fn dbg_throughput() {
 fn dbg_drop_location() {
     let topo = Topology::dumbbell(1, 10_000_000_000, Dur::us(1));
     let mut net_cfg = NetConfig::expresspass().with_seed(11);
-    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    net_cfg.host_delay = HostDelayModel {
+        min: Dur::us(1),
+        max: Dur::us(1),
+    };
     let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
     net.add_flow(HostId(0), HostId(1), 20_000_000, SimTime::ZERO);
     net.run_until(SimTime::ZERO + Dur::ms(20));
@@ -77,7 +128,15 @@ fn dbg_drop_location() {
         if let Some(cq) = p.credit.as_ref() {
             if cq.stats.enqueued > 0 || cq.stats.dropped > 0 {
                 let l = &net.topo().dlinks[i];
-                println!("dlink {i} {:?}->{:?}: enq={} drop={} maxq={} tx_credit={}", l.from, l.to, cq.stats.enqueued, cq.stats.dropped, cq.stats.max_bytes, p.tx_credit_bytes / 88);
+                println!(
+                    "dlink {i} {:?}->{:?}: enq={} drop={} maxq={} tx_credit={}",
+                    l.from,
+                    l.to,
+                    cq.stats.enqueued,
+                    cq.stats.dropped,
+                    cq.stats.max_bytes,
+                    p.tx_credit_bytes / 88
+                );
             }
         }
     }
@@ -88,7 +147,10 @@ fn dbg_drop_location() {
 fn dbg_loss_accounting() {
     let topo = Topology::dumbbell(1, 10_000_000_000, Dur::us(1));
     let mut net_cfg = NetConfig::expresspass().with_seed(11);
-    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    net_cfg.host_delay = HostDelayModel {
+        min: Dur::us(1),
+        max: Dur::us(1),
+    };
     let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
     let f = net.add_flow(HostId(0), HostId(1), 20_000_000, SimTime::ZERO);
     let mut last_drop = 0u64;
@@ -99,12 +161,30 @@ fn dbg_loss_accounting() {
         let d = net.counters().credits_dropped;
         let s = net.counters().credits_sent;
         let mut rate = 0.0;
-        net.poke(f, Side::Receiver, |ep, _| { rate = ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate(); });
+        net.poke(f, Side::Receiver, |ep, _| {
+            rate = ep
+                .as_any()
+                .downcast_mut::<XPassReceiver>()
+                .unwrap()
+                .credit_rate();
+        });
         if step > 30 {
-            println!("t={}us sent+{} drop+{} rate={:.0} {}", 100*(step+1), s-last_sent, d-last_drop, rate,
-                if rate < last_rate * 0.8 { "<<CRASH" } else { "" });
+            println!(
+                "t={}us sent+{} drop+{} rate={:.0} {}",
+                100 * (step + 1),
+                s - last_sent,
+                d - last_drop,
+                rate,
+                if rate < last_rate * 0.8 {
+                    "<<CRASH"
+                } else {
+                    ""
+                }
+            );
         }
-        last_drop = d; last_sent = s; last_rate = rate;
+        last_drop = d;
+        last_sent = s;
+        last_rate = rate;
     }
 }
 
@@ -113,9 +193,21 @@ fn dbg_loss_accounting() {
 fn dbg_four_flow_fairness() {
     let topo = Topology::dumbbell(4, 10_000_000_000, Dur::us(8));
     let mut net_cfg = NetConfig::expresspass().with_seed(41);
-    net_cfg.host_delay = HostDelayModel { min: Dur::us(1), max: Dur::us(1) };
+    net_cfg.host_delay = HostDelayModel {
+        min: Dur::us(1),
+        max: Dur::us(1),
+    };
     let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
-    let flows: Vec<_> = (0..4).map(|i| net.add_flow(HostId(i), HostId(4 + i), 2_500_000_000, SimTime::ZERO + Dur::us(i as u64 * 37))).collect();
+    let flows: Vec<_> = (0..4)
+        .map(|i| {
+            net.add_flow(
+                HostId(i),
+                HostId(4 + i),
+                2_500_000_000,
+                SimTime::ZERO + Dur::us(i as u64 * 37),
+            )
+        })
+        .collect();
     let mut last = [0u64; 4];
     for step in 0..35 {
         net.run_until(SimTime::ZERO + Dur::ms(step + 1));
@@ -126,11 +218,16 @@ fn dbg_four_flow_fairness() {
             gbps.push(format!("{:.2}", (d - last[i]) as f64 * 8.0 / 1e6));
             last[i] = d;
             net.poke(f, Side::Receiver, |ep, _| {
-                rates.push(format!("{:.0}k", ep.as_any().downcast_mut::<XPassReceiver>().unwrap().credit_rate() / 1e3));
+                rates.push(format!(
+                    "{:.0}k",
+                    ep.as_any()
+                        .downcast_mut::<XPassReceiver>()
+                        .unwrap()
+                        .credit_rate()
+                        / 1e3
+                ));
             });
         }
         println!("t={}ms gbps={:?} rates={:?}", step + 1, gbps, rates);
     }
 }
-
-

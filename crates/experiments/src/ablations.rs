@@ -102,8 +102,7 @@ fn drop_policy_panel(cfg: &Config) -> Vec<DropPolicyRow> {
             let topo = Topology::dumbbell(cfg.flows, cfg.link_bps, Dur::us(8));
             let mut net_cfg = NetConfig::expresspass().with_seed(cfg.seed);
             net_cfg.credit_drop = policy;
-            let mut net =
-                Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
+            let mut net = Network::new(topo, net_cfg, xpass_factory(XPassConfig::aggressive()));
             let flows: Vec<_> = (0..cfg.flows)
                 .map(|i| {
                     net.add_flow(
@@ -228,7 +227,10 @@ pub fn run(cfg: &Config) -> Ablations {
 
 impl fmt::Display for Ablations {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablation A — credit drop policy (16 flows, one bottleneck):")?;
+        writeln!(
+            f,
+            "Ablation A — credit drop policy (16 flows, one bottleneck):"
+        )?;
         let rows: Vec<Vec<String>> = self
             .drop_policies
             .iter()
@@ -240,9 +242,16 @@ impl fmt::Display for Ablations {
                 ]
             })
             .collect();
-        write!(f, "{}", text_table(&["policy", "utilization", "fairness"], &rows))?;
+        write!(
+            f,
+            "{}",
+            text_table(&["policy", "utilization", "fairness"], &rows)
+        )?;
 
-        writeln!(f, "\nAblation B — routing mode (4-ary fat tree permutation):")?;
+        writeln!(
+            f,
+            "\nAblation B — routing mode (4-ary fat tree permutation):"
+        )?;
         let rows: Vec<Vec<String>> = self
             .routing
             .iter()
@@ -254,7 +263,11 @@ impl fmt::Display for Ablations {
                 ]
             })
             .collect();
-        write!(f, "{}", text_table(&["mode", "mean FCT", "max queue"], &rows))?;
+        write!(
+            f,
+            "{}",
+            text_table(&["mode", "mean FCT", "max queue"], &rows)
+        )?;
 
         writeln!(
             f,
@@ -262,7 +275,10 @@ impl fmt::Display for Ablations {
             self.early_stop_waste.0, self.early_stop_waste.1
         )?;
 
-        writeln!(f, "\nAblation D — w_min vs steady-state oscillation (model):")?;
+        writeln!(
+            f,
+            "\nAblation D — w_min vs steady-state oscillation (model):"
+        )?;
         let rows: Vec<Vec<String>> = self
             .w_min
             .iter()

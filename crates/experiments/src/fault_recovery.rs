@@ -263,7 +263,10 @@ impl fmt::Display for FaultRecovery {
                 "-".into(),
                 "-".into(),
                 "-".into(),
-                format!("{}/{} completed", self.linkfail_completed, self.linkfail_total),
+                format!(
+                    "{}/{} completed",
+                    self.linkfail_completed, self.linkfail_total
+                ),
             ],
         ];
         write!(

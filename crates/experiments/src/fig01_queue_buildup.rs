@@ -141,18 +141,17 @@ pub fn run(cfg: &Config) -> Fig1 {
     let schemes = [
         ("Ideal", Scheme::Ideal),
         ("DCTCP", Scheme::Dctcp),
-        ("Credit", Scheme::XPass(expresspass::XPassConfig::aggressive())),
+        (
+            "Credit",
+            Scheme::XPass(expresspass::XPassConfig::aggressive()),
+        ),
     ];
     Fig1 {
         series: schemes
             .into_iter()
             .map(|(name, s)| Series {
                 scheme: name,
-                points: cfg
-                    .fan_outs
-                    .iter()
-                    .map(|&fo| measure(cfg, s, fo))
-                    .collect(),
+                points: cfg.fan_outs.iter().map(|&fo| measure(cfg, s, fo)).collect(),
             })
             .collect(),
     }
@@ -174,7 +173,10 @@ impl fmt::Display for Fig1 {
                 row
             })
             .collect();
-        writeln!(f, "Fig 1: max data queue (packets) at the master's downlink")?;
+        writeln!(
+            f,
+            "Fig 1: max data queue (packets) at the master's downlink"
+        )?;
         write!(f, "{}", text_table(&hdr_refs, &rows))
     }
 }

@@ -5,9 +5,9 @@
 //! scheme, 47 ms for CUBIC, and 70 ms for DCTCP.
 
 use crate::harness::{convergence_time, convergence_time_cumulative, text_table, Scheme};
+use std::fmt;
 use xpass_net::ids::HostId;
 use xpass_sim::time::{Dur, SimTime};
-use std::fmt;
 
 /// Fig 2 configuration.
 #[derive(Clone, Debug)]
@@ -76,9 +76,7 @@ pub fn run_scheme(cfg: &Config, scheme: Scheme) -> Option<Dur> {
     match scheme {
         // Loss-based TCPs keep a deep sawtooth around fairness: use the
         // smooth cumulative-average metric.
-        Scheme::Cubic | Scheme::Reno => {
-            convergence_time_cumulative(&net, late, join, fair, 0.30)
-        }
+        Scheme::Cubic | Scheme::Reno => convergence_time_cumulative(&net, late, join, fair, 0.30),
         _ => convergence_time(&net, late, join, fair, 0.35, 20),
     }
 }

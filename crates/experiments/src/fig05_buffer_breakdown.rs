@@ -71,7 +71,14 @@ impl fmt::Display for Fig5 {
             f,
             "{}",
             text_table(
-                &["Params", "Link/Core", "Total", "Data bound", "Credit buf", "Host-spread part"],
+                &[
+                    "Params",
+                    "Link/Core",
+                    "Total",
+                    "Data bound",
+                    "Credit buf",
+                    "Host-spread part"
+                ],
                 &rows
             )
         )
@@ -93,7 +100,10 @@ mod tests {
         let r = run();
         // Within the testbed set: 10/40 < 40/100 < 100/100... the paper
         // shows growth with speed; require monotone total.
-        let t: Vec<u64> = r.bars[..3].iter().map(|b| b.breakdown.total_bytes).collect();
+        let t: Vec<u64> = r.bars[..3]
+            .iter()
+            .map(|b| b.breakdown.total_bytes)
+            .collect();
         assert!(t[0] < t[1], "{t:?}");
         // 4x speed increase needs < 4x buffer (sublinear, §3.1).
         assert!((t[1] as f64) < (t[0] as f64) * 4.0, "{t:?}");

@@ -7,8 +7,8 @@
 //! restore fairness — the result that motivates §3.1's jitter mechanism.
 
 use crate::harness::text_table;
-use std::fmt;
 use expresspass::{xpass_factory, XPassConfig};
+use std::fmt;
 use xpass_net::config::{HostDelayModel, NetConfig};
 use xpass_net::ids::HostId;
 use xpass_net::network::Network;
@@ -84,7 +84,14 @@ fn measure(cfg: &Config, n: usize, j: Option<f64>) -> f64 {
     let mut net = Network::new(topo, net_cfg, xpass_factory(xp));
     let bytes = cfg.link_bps / 8;
     let flows: Vec<_> = (0..n)
-        .map(|i| net.add_flow(HostId(i as u32), HostId((n + i) as u32), bytes, SimTime::ZERO))
+        .map(|i| {
+            net.add_flow(
+                HostId(i as u32),
+                HostId((n + i) as u32),
+                bytes,
+                SimTime::ZERO,
+            )
+        })
         .collect();
     net.run_until(SimTime::ZERO + cfg.warmup);
     let before: Vec<u64> = flows.iter().map(|&f| net.delivered_bytes(f)).collect();
@@ -147,7 +154,10 @@ impl fmt::Display for Fig6a {
             }
             rows.push(row);
         }
-        writeln!(f, "Fig 6a: Jain fairness vs pacing jitter (drop-tail credit queues)")?;
+        writeln!(
+            f,
+            "Fig 6a: Jain fairness vs pacing jitter (drop-tail credit queues)"
+        )?;
         write!(f, "{}", text_table(&hdr_refs, &rows))
     }
 }
@@ -178,7 +188,12 @@ mod tests {
             .map(|p| p.fairness)
             .next()
             .unwrap();
-        let rand = r.points.iter().find(|p| p.jitter.is_none()).unwrap().fairness;
+        let rand = r
+            .points
+            .iter()
+            .find(|p| p.jitter.is_none())
+            .unwrap()
+            .fairness;
         assert!(j_hi > j0, "j=0.08 {j_hi:.3} not above j=0 {j0:.3}");
         assert!(j_hi > 0.7, "jittered fairness {j_hi:.3}");
         assert!(rand > 0.7, "random-drop fairness {rand:.3}");

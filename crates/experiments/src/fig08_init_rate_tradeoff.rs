@@ -85,8 +85,8 @@ pub fn run(cfg: &Config) -> Fig8 {
         net.track_flow(late);
         net.run_until(join + Dur::ms(20));
         let fair = cfg.link_bps as f64 / 2.0 * 0.9482 * (1460.0 / 1538.0) / 1e9;
-        let conv = convergence_time(&net, late, join, fair, 0.30, 15)
-            .map(|d| d.as_secs_f64() / rtt);
+        let conv =
+            convergence_time(&net, late, join, fair, 0.30, 15).map(|d| d.as_secs_f64() / rtt);
 
         // (b) credit waste of a single-packet flow in an idle network.
         let mut net = xpass_net(cfg, alpha, cfg.seed + 1, 1);
@@ -127,7 +127,10 @@ impl fmt::Display for Fig8 {
         write!(
             f,
             "{}",
-            text_table(&["init/max rate", "convergence (RTTs)", "wasted credits"], &rows)
+            text_table(
+                &["init/max rate", "convergence (RTTs)", "wasted credits"],
+                &rows
+            )
         )
     }
 }

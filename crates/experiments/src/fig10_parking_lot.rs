@@ -100,7 +100,10 @@ fn measure(cfg: &Config, scheme: Scheme, n: usize) -> f64 {
 /// Run both series.
 pub fn run(cfg: &Config) -> Fig10 {
     let schemes = [
-        ("w/ feedback", Scheme::XPass(expresspass::XPassConfig::aggressive())),
+        (
+            "w/ feedback",
+            Scheme::XPass(expresspass::XPassConfig::aggressive()),
+        ),
         ("naive", Scheme::NaiveCredit),
     ];
     let series = schemes
@@ -174,7 +177,12 @@ mod tests {
         }
         // Feedback holds ≥ 85% at every depth (paper: ~98%).
         for p in fb {
-            assert!(p.min_utilization > 0.80, "N={}: {:.3}", p.n, p.min_utilization);
+            assert!(
+                p.min_utilization > 0.80,
+                "N={}: {:.3}",
+                p.n,
+                p.min_utilization
+            );
         }
     }
 
@@ -184,8 +192,7 @@ mod tests {
         let naive = &r.series[1].points;
         // The paper's analysis: 83.3% at N=2 falling toward 60% at N=6.
         assert!(
-            naive.last().unwrap().min_utilization
-                <= naive.first().unwrap().min_utilization + 0.02,
+            naive.last().unwrap().min_utilization <= naive.first().unwrap().min_utilization + 0.02,
             "naive should not improve with depth: {naive:?}"
         );
         assert!(naive[0].min_utilization < 0.95);

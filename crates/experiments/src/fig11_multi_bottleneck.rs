@@ -134,11 +134,13 @@ fn measure(cfg: &Config, scheme: Scheme, n: usize) -> f64 {
 /// Run both series.
 pub fn run(cfg: &Config) -> Fig11 {
     let schemes = [
-        ("w/ feedback", Scheme::XPass(expresspass::XPassConfig::aggressive())),
+        (
+            "w/ feedback",
+            Scheme::XPass(expresspass::XPassConfig::aggressive()),
+        ),
         ("naive", Scheme::NaiveCredit),
     ];
-    let max_data_gbps =
-        cfg.link_bps as f64 * (1538.0 / 1622.0) * (1460.0 / 1538.0) / 1e9;
+    let max_data_gbps = cfg.link_bps as f64 * (1538.0 / 1622.0) * (1460.0 / 1538.0) / 1e9;
     let series = schemes
         .into_iter()
         .map(|(name, s)| Series {

@@ -74,11 +74,18 @@ pub fn run(cfg: &Config) -> Fig12 {
 
 impl fmt::Display for Fig12 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 12: steady-state feedback behaviour (discrete model)")?;
+        writeln!(
+            f,
+            "Fig 12: steady-state feedback behaviour (discrete model)"
+        )?;
         writeln!(f, "fair share R*      : {:.0} credits/s", self.fair_share)?;
         writeln!(f, "converged (10%) at : period {:?}", self.converged_at)?;
         writeln!(f, "D* bound           : {:.0} credits/s", self.d_star)?;
-        writeln!(f, "late oscillation   : {:.0} credits/s", self.late_oscillation)?;
+        writeln!(
+            f,
+            "late oscillation   : {:.0} credits/s",
+            self.late_oscillation
+        )?;
         // Compact sparkline of the trace relative to R*.
         let marks: String = self
             .trace

@@ -61,7 +61,10 @@ pub fn run(cfg: &Config) -> Fig14 {
     let mut rng = Rng::new(cfg.seed);
     let mut delays = xpass_sim::stats::Percentiles::new();
     for _ in 0..100_000 {
-        delays.add(rng.range_dur(cfg.host_delay.min, cfg.host_delay.max).as_secs_f64());
+        delays.add(
+            rng.range_dur(cfg.host_delay.min, cfg.host_delay.max)
+                .as_secs_f64(),
+        );
     }
 
     // Saturated single flow; collect gaps at the host NIC egress and at the
@@ -91,7 +94,10 @@ pub fn run(cfg: &Config) -> Fig14 {
     let tx = net.credit_gaps_mut(tx_dlink).expect("tx gaps");
     let tx_gap_cdf = tx.cdf(200);
     let n = tx.count();
-    let mean: f64 = (1..=n).map(|i| tx.quantile(i as f64 / n as f64)).sum::<f64>() / n as f64;
+    let mean: f64 = (1..=n)
+        .map(|i| tx.quantile(i as f64 / n as f64))
+        .sum::<f64>()
+        / n as f64;
     let var: f64 = (1..=n)
         .map(|i| {
             let v = tx.quantile(i as f64 / n as f64) - mean;

@@ -126,7 +126,10 @@ pub fn run(cfg: &Config) -> Fig15 {
 
 impl fmt::Display for Fig15 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 15: flow scalability (utilization / fairness / max queue KB / drops)")?;
+        writeln!(
+            f,
+            "Fig 15: flow scalability (utilization / fairness / max queue KB / drops)"
+        )?;
         let mut headers = vec!["scheme".to_string()];
         for p in &self.series[0].points {
             headers.push(format!("N={}", p.flows));
@@ -171,10 +174,18 @@ mod tests {
         // Payload ceiling: 0.9482 × 1460/1538 ≈ 0.90 of line rate. Our
         // feedback oscillates more than the paper's (uniform-random credit
         // drops are noisier than testbed droptail), costing a few percent.
-        assert!(xp[0].utilization > 0.72, "N=4 utilization {:.3}", xp[0].utilization);
+        assert!(
+            xp[0].utilization > 0.72,
+            "N=4 utilization {:.3}",
+            xp[0].utilization
+        );
         assert!(xp[0].fairness > 0.95, "N=4 fairness {:.3}", xp[0].fairness);
         // N=64 is the sub-credit-per-RTT regime (§3.4): fairness degrades.
-        assert!(xp[1].utilization > 0.72, "N=64 utilization {:.3}", xp[1].utilization);
+        assert!(
+            xp[1].utilization > 0.72,
+            "N=64 utilization {:.3}",
+            xp[1].utilization
+        );
         assert!(xp[1].fairness > 0.4, "N=64 fairness {:.3}", xp[1].fairness);
         for p in xp {
             assert_eq!(p.drops, 0, "N={}: drops", p.flows);

@@ -119,8 +119,15 @@ impl fmt::Display for Fig16 {
                 ]
             })
             .collect();
-        writeln!(f, "Fig 16: convergence time of a joining flow (RTT = 100us)")?;
-        write!(f, "{}", text_table(&["Scheme", "Speed", "Convergence"], &rows))
+        writeln!(
+            f,
+            "Fig 16: convergence time of a joining flow (RTT = 100us)"
+        )?;
+        write!(
+            f,
+            "{}",
+            text_table(&["Scheme", "Speed", "Convergence"], &rows)
+        )
     }
 }
 

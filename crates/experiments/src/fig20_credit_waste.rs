@@ -27,10 +27,7 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Config {
         Config {
-            workloads: vec![
-                (Workload::WebServer, 2000),
-                (Workload::CacheFollower, 800),
-            ],
+            workloads: vec![(Workload::WebServer, 2000), (Workload::CacheFollower, 800)],
             speeds: vec![10_000_000_000, 40_000_000_000],
             alphas: vec![0.5, 1.0 / 16.0],
             load: 0.6,
@@ -147,7 +144,10 @@ mod tests {
             "waste vanished: 40G {w40_half:.3}, 10G {w10_half:.3}"
         );
         // Smaller α wastes less.
-        assert!(w10_16 <= w10_half * 1.15, "α=1/16 {w10_16:.3} vs α=1/2 {w10_half:.3}");
+        assert!(
+            w10_16 <= w10_half * 1.15,
+            "α=1/16 {w10_16:.3} vs α=1/2 {w10_half:.3}"
+        );
         // Web Server at 10G, α=1/2: waste is a material fraction of
         // credits (the paper reports 34% at its 52us-RTT full scale; our
         // scaled runs sit lower — see EXPERIMENTS.md).

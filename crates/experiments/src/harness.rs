@@ -1,6 +1,7 @@
 //! Shared experiment machinery: scheme selection, FCT bucketing,
 //! convergence detection, and text-table rendering.
 
+use expresspass::netcalc::{buffer_bounds, HierTopo, LinkClass, NetCalcParams};
 use expresspass::{xpass_factory, XPassConfig};
 use xpass_baselines::{
     cubic_factory, dctcp_factory, dx_factory, hull_factory, ideal_factory, naive_credit_factory,
@@ -8,12 +9,15 @@ use xpass_baselines::{
 };
 use xpass_net::config::{HostDelayModel, NetConfig};
 use xpass_net::endpoint::EndpointFactory;
+use xpass_net::health::{HealthReport, InvariantSpec};
 use xpass_net::ids::FlowId;
-use xpass_net::network::{FlowRecord, Network};
+use xpass_net::network::{Counters, FlowRecord, Network};
 use xpass_net::topology::Topology;
+use xpass_sim::profile::EngineReport;
 use xpass_sim::stats::Percentiles;
-use xpass_workloads;
 use xpass_sim::time::{Dur, SimTime};
+use xpass_sim::trace::TraceSink;
+use xpass_workloads;
 
 /// A congestion-control scheme under test.
 #[derive(Clone, Copy, Debug)]
@@ -211,16 +215,13 @@ impl FctBuckets {
         self.unfinished
     }
 
-    /// FCT percentiles over all buckets combined.
+    /// FCT percentiles over all buckets combined. Exact: merges the raw
+    /// samples of every bucket (quantiles of the union, not a union of
+    /// quantiles).
     pub fn overall(&self) -> Percentiles {
         let mut all = Percentiles::new();
-        for r in &self.per_bucket {
-            let mut c = r.clone();
-            // Merge by draining the sorted view.
-            let n = c.count();
-            for i in 0..n {
-                all.add(c.quantile((i as f64 + 1.0) / n as f64));
-            }
+        for b in &self.per_bucket {
+            all.merge(b);
         }
         all
     }
@@ -246,7 +247,19 @@ pub fn convergence_time(
         .filter(|&&(t, _)| t >= t0)
         .copied()
         .collect();
-    if samples.len() < window {
+    convergence_time_samples(&samples, t0, fair_gbps, tol, window)
+}
+
+/// Core of [`convergence_time`], operating on an explicit `(time, gbps)`
+/// sample slice (samples before `t0` must already be excluded).
+pub fn convergence_time_samples(
+    samples: &[(SimTime, f64)],
+    t0: SimTime,
+    fair_gbps: f64,
+    tol: f64,
+    window: usize,
+) -> Option<Dur> {
+    if window == 0 || samples.len() < window {
         return None;
     }
     // Sustained convergence: find the LAST window whose mean is outside the
@@ -254,8 +267,7 @@ pub fn convergence_time(
     // crossing during ramp-up therefore does not count.
     let n_windows = samples.len() - window + 1;
     let in_band = |i: usize| {
-        let mean: f64 =
-            samples[i..i + window].iter().map(|&(_, v)| v).sum::<f64>() / window as f64;
+        let mean: f64 = samples[i..i + window].iter().map(|&(_, v)| v).sum::<f64>() / window as f64;
         (mean - fair_gbps).abs() <= tol * fair_gbps
     };
     if !in_band(n_windows - 1) {
@@ -304,13 +316,78 @@ pub struct RealisticResult {
     pub data_drops: u64,
     /// Flows that did not complete within the run cap.
     pub unfinished: usize,
+    /// Full global packet/credit counters.
+    pub counters: Counters,
+    /// Engine profile: events processed (per kind), peak heap depth,
+    /// wall-clock throughput.
+    pub engine: EngineReport,
+    /// Invariant-monitor outcome. For [`Scheme::XPass`] runs the Table-1
+    /// data-queue bound and the zero-data-loss claim are monitored;
+    /// `monitored` is false for the baselines.
+    pub health: HealthReport,
+}
+
+/// The Table-1 network-calculus invariant spec for [`Topology::eval_fat_tree`]
+/// at `link_bps` (uniform tier speeds, 4 µs propagation) with the scheme's
+/// net-config host-delay and credit-queue parameters: monitor every
+/// switch-egress data queue against the worst port-class buffer bound, and
+/// assert zero data loss.
+pub fn eval_fat_tree_invariants(link_bps: u64, cfg: &NetConfig) -> InvariantSpec {
+    let link = LinkClass {
+        speed_bps: link_bps,
+        prop: Dur::us(4),
+    };
+    let topo = HierTopo {
+        name: "eval fat tree".to_string(),
+        host_link: link,
+        tor_agg: link,
+        agg_core: link,
+        // eval_fat_tree: 6 hosts per ToR, 2 uplinks per ToR (3:1).
+        tor_down_ports: 6,
+        tor_up_ports: 2,
+    };
+    let p = NetCalcParams {
+        credit_queue: cfg.credit_queue_pkts,
+        dhost_min: cfg.host_delay.min,
+        dhost_max: cfg.host_delay.max,
+        switch_latency: Dur::ZERO,
+    };
+    let b = buffer_bounds(&topo, &p);
+    let bound = b
+        .tor_down
+        .buffer_bytes
+        .max(b.tor_up.buffer_bytes)
+        .max(b.core.buffer_bytes);
+    InvariantSpec {
+        data_queue_bound_bytes: Some(bound),
+        zero_data_loss: true,
+    }
 }
 
 impl RealisticRun {
     /// Execute the run.
     pub fn run(&self) -> RealisticResult {
+        self.run_traced(None).0
+    }
+
+    /// Execute the run with an optional trace sink installed for its
+    /// duration. The sink is returned (flushed) so callers can thread one
+    /// sink through a sequence of runs into a single output stream.
+    /// ExpressPass runs additionally monitor the Table-1 queue bound and
+    /// zero-data-loss invariants ([`eval_fat_tree_invariants`]).
+    pub fn run_traced(
+        &self,
+        sink: Option<Box<dyn TraceSink>>,
+    ) -> (RealisticResult, Option<Box<dyn TraceSink>>) {
         let topo = Topology::eval_fat_tree(self.link_bps);
         let mut net = self.scheme.build(topo.clone(), self.link_bps, self.seed);
+        if let Some(sink) = sink {
+            net.install_trace_sink(sink);
+        }
+        if matches!(self.scheme, Scheme::XPass(_)) {
+            let cfg = self.scheme.net_config(self.link_bps);
+            net.install_invariants(eval_fat_tree_invariants(self.link_bps, &cfg));
+        }
         let wl = xpass_workloads::PoissonWorkload::new(
             self.workload.dist(),
             self.load,
@@ -334,15 +411,23 @@ impl RealisticRun {
                 nports += 1;
             }
         }
-        RealisticResult {
+        let result = RealisticResult {
             unfinished: fct.unfinished(),
-            avg_queue_bytes: if nports > 0 { qsum / nports as f64 } else { 0.0 },
+            avg_queue_bytes: if nports > 0 {
+                qsum / nports as f64
+            } else {
+                0.0
+            },
             max_queue_bytes: net.max_switch_queue_bytes(),
             credits_sent: net.counters().credits_sent,
             credits_wasted: net.counters().credits_wasted,
             data_drops: net.counters().data_dropped,
+            counters: net.counters().clone(),
+            engine: net.engine_report(),
+            health: net.health_report(),
             fct,
-        }
+        };
+        (result, net.take_trace_sink())
     }
 }
 
@@ -366,6 +451,18 @@ pub fn convergence_time_cumulative(
         .filter(|&&(t, _)| t >= t0)
         .copied()
         .collect();
+    convergence_time_cumulative_samples(&samples, t0, fair_gbps, tol)
+}
+
+/// Core of [`convergence_time_cumulative`], operating on an explicit
+/// `(time, gbps)` sample slice (samples before `t0` must already be
+/// excluded).
+pub fn convergence_time_cumulative_samples(
+    samples: &[(SimTime, f64)],
+    t0: SimTime,
+    fair_gbps: f64,
+    tol: f64,
+) -> Option<Dur> {
     if samples.is_empty() {
         return None;
     }
@@ -534,13 +631,102 @@ mod tests {
     fn table_rendering_aligns() {
         let t = text_table(
             &["a", "bbbb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         assert!(t.contains("a    bbbb"));
         assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn overall_is_exact_union_of_buckets() {
+        let mk = |size: u64, fct_us: u64| FlowRecord {
+            id: FlowId(0),
+            src: HostId(0),
+            dst: HostId(1),
+            size_bytes: size,
+            start: SimTime::ZERO,
+            fct: Some(Dur::us(fct_us)),
+            credits_sent: 0,
+            credits_wasted: 0,
+            outcome: None,
+        };
+        // Two S flows and two XL flows with well-separated FCTs: the exact
+        // overall median must interpolate between the 2nd and 3rd sample,
+        // which a quantile-of-quantiles resampling would miss.
+        let recs = vec![
+            mk(100, 10),
+            mk(200, 20),
+            mk(2_000_000, 1000),
+            mk(3_000_000, 2000),
+        ];
+        let b = FctBuckets::from_records(&recs);
+        let mut all = b.overall();
+        assert_eq!(all.count(), 4);
+        let mut direct = Percentiles::new();
+        for us in [10, 20, 1000, 2000] {
+            direct.add(Dur::us(us).as_secs_f64());
+        }
+        assert_eq!(all.quantile(0.5), direct.quantile(0.5));
+        assert_eq!(all.quantile(0.99), direct.quantile(0.99));
+        assert_eq!(all.min(), Dur::us(10).as_secs_f64());
+        assert_eq!(all.max(), Dur::us(2000).as_secs_f64());
+    }
+
+    #[test]
+    fn convergence_fewer_samples_than_window() {
+        let s: Vec<(SimTime, f64)> = (0..3).map(|i| (SimTime(i), 1.0)).collect();
+        assert_eq!(
+            convergence_time_samples(&s, SimTime::ZERO, 1.0, 0.1, 4),
+            None
+        );
+        assert_eq!(
+            convergence_time_samples(&[], SimTime::ZERO, 1.0, 0.1, 1),
+            None
+        );
+        assert_eq!(
+            convergence_time_cumulative_samples(&[], SimTime::ZERO, 1.0, 0.1),
+            None
+        );
+    }
+
+    #[test]
+    fn convergence_never_converged() {
+        // Steady throughput far below the fair share: no window is in band.
+        let s: Vec<(SimTime, f64)> = (0..20).map(|i| (SimTime(i * 100), 0.2)).collect();
+        assert_eq!(
+            convergence_time_samples(&s, SimTime::ZERO, 1.0, 0.1, 4),
+            None
+        );
+        assert_eq!(
+            convergence_time_cumulative_samples(&s, SimTime::ZERO, 1.0, 0.1),
+            None
+        );
+    }
+
+    #[test]
+    fn convergence_in_band_from_first_window() {
+        // In band from the very first sample: convergence at the first
+        // sample time, i.e. zero delay after t0.
+        let s: Vec<(SimTime, f64)> = (0..10).map(|i| (SimTime(i * 100), 1.0)).collect();
+        assert_eq!(
+            convergence_time_samples(&s, SimTime::ZERO, 1.0, 0.1, 4),
+            Some(Dur::ZERO)
+        );
+        assert_eq!(
+            convergence_time_cumulative_samples(&s, SimTime::ZERO, 1.0, 0.1),
+            Some(Dur::ZERO)
+        );
+        // Ramp-up then sustained band entry: convergence at the start of
+        // the first sustained in-band window, not the transient.
+        let mut ramp: Vec<(SimTime, f64)> = vec![
+            (SimTime(0), 0.0),
+            (SimTime(100), 1.0), // transient spike, not sustained
+            (SimTime(200), 0.0),
+            (SimTime(300), 0.1),
+        ];
+        ramp.extend((4..14).map(|i| (SimTime(i * 100), 1.0)));
+        let got = convergence_time_samples(&ramp, SimTime::ZERO, 1.0, 0.05, 2).unwrap();
+        assert_eq!(got, Dur(400));
     }
 
     #[test]

@@ -31,7 +31,6 @@
 //! | [`ablations`] | design-choice ablations (drop policy, routing, §7 features) |
 //! | [`fault_recovery`] | robustness — re-convergence after injected faults |
 
-
 #![warn(missing_docs)]
 pub mod ablations;
 pub mod fault_recovery;

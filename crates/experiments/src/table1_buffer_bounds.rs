@@ -73,15 +73,7 @@ impl fmt::Display for Table1 {
             f,
             "{}",
             text_table(
-                &[
-                    "Topology",
-                    "ToR down",
-                    "(paper)",
-                    "ToR up",
-                    "(paper)",
-                    "Core",
-                    "(paper)"
-                ],
+                &["Topology", "ToR down", "(paper)", "ToR up", "(paper)", "Core", "(paper)"],
                 &rows
             )
         )

@@ -28,10 +28,7 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Config {
         Config {
-            workloads: vec![
-                (Workload::WebServer, 1500),
-                (Workload::CacheFollower, 600),
-            ],
+            workloads: vec![(Workload::WebServer, 1500), (Workload::CacheFollower, 600)],
             loads: vec![0.2, 0.6],
             schemes: Scheme::comparison_set(),
             link_bps: 10_000_000_000,

@@ -155,7 +155,11 @@ impl NetConfig {
     /// Scale switch queue capacity with link speed as the paper does
     /// (250 MTU at 10 G, 1000 MTU at 40 G).
     pub fn with_queue_for_speed(mut self, link_bps: u64) -> NetConfig {
-        let mtus = if link_bps >= 40_000_000_000 { 1000 } else { 250 };
+        let mtus = if link_bps >= 40_000_000_000 {
+            1000
+        } else {
+            250
+        };
         self.switch_queue_bytes = mtus * crate::packet::MAX_FRAME as u64;
         // Scale ECN K too if set.
         if let Some(k) = self.ecn_k_bytes.as_mut() {

@@ -166,6 +166,19 @@ impl<'a> Ctx<'a> {
     pub fn set_stalled(&mut self, stalled: bool) {
         self.net.mark_stalled(self.flow, stalled);
     }
+
+    /// True when a trace sink is installed. Endpoints gate any work needed
+    /// only to *build* a trace event behind this, keeping no-sink runs free
+    /// of telemetry cost.
+    pub fn trace_enabled(&self) -> bool {
+        self.net.trace_enabled()
+    }
+
+    /// Record a trace event (no-op without a sink). Tracing is
+    /// observation-only: it must never touch the RNG or schedule events.
+    pub fn trace(&mut self, ev: xpass_sim::trace::TraceEvent) {
+        self.net.trace_emit(ev);
+    }
 }
 
 /// Helper tracking the latest armed generation of one timer kind, so

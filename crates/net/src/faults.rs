@@ -131,7 +131,13 @@ impl FaultPlan {
     /// Schedule a link-down that freezes the egress queues (lossless pause
     /// of the queued backlog; in-flight packets are still lost).
     pub fn link_down(self, at: SimTime, dlink: DLinkId) -> FaultPlan {
-        self.push(at, FaultKind::LinkDown { dlink, flush: false })
+        self.push(
+            at,
+            FaultKind::LinkDown {
+                dlink,
+                flush: false,
+            },
+        )
     }
 
     /// Schedule a link-down that flushes (drops) the egress queue backlog.
@@ -159,7 +165,14 @@ impl FaultPlan {
     pub fn set_loss(self, at: SimTime, dlink: DLinkId, data: f64, credit: f64) -> FaultPlan {
         assert!((0.0..=1.0).contains(&data), "data loss prob in [0,1]");
         assert!((0.0..=1.0).contains(&credit), "credit loss prob in [0,1]");
-        self.push(at, FaultKind::SetLoss { dlink, data, credit })
+        self.push(
+            at,
+            FaultKind::SetLoss {
+                dlink,
+                data,
+                credit,
+            },
+        )
     }
 
     /// Schedule a per-packet corruption probability on a directed link.

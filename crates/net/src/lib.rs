@@ -28,11 +28,11 @@
 //! * [`config`] — per-run knobs (queue capacity, ECN K, credit queue size,
 //!   host jitter model, …).
 
-
 #![warn(missing_docs)]
 pub mod config;
 pub mod endpoint;
 pub mod faults;
+pub mod health;
 pub mod ids;
 pub mod network;
 pub mod packet;

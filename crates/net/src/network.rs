@@ -19,6 +19,7 @@
 use crate::config::NetConfig;
 use crate::endpoint::{Ctx, Endpoint, EndpointFactory, FlowInfo};
 use crate::faults::{FaultKind, FaultPlan, FaultState, FAULT_RNG_SALT};
+use crate::health::{HealthReport, InvariantSpec, InvariantState};
 use crate::ids::{DLinkId, FlowId, HostId, NodeId, Side};
 use crate::packet::{Packet, PktKind};
 use crate::port::{EgressPort, TxDecision};
@@ -28,20 +29,66 @@ use crate::routing::ecmp_index;
 use crate::topology::Topology;
 use std::collections::HashMap;
 use xpass_sim::event::EventQueue;
+use xpass_sim::profile::EngineReport;
 use xpass_sim::rng::Rng;
 use xpass_sim::stats::TimeSeries;
 use xpass_sim::time::{Dur, SimTime};
+use xpass_sim::trace::{TraceEvent, TraceSink};
 
 /// Simulation events.
 enum Ev {
-    Arrive { dlink: DLinkId, pkt: Packet },
-    PortWake { dlink: DLinkId },
-    HostRx { pkt: Packet },
-    Timer { flow: FlowId, side: Side, kind: u8, gen: u64 },
-    FlowStart { flow: FlowId },
-    RcpUpdate { dlink: DLinkId },
+    Arrive {
+        dlink: DLinkId,
+        pkt: Packet,
+    },
+    PortWake {
+        dlink: DLinkId,
+    },
+    HostRx {
+        pkt: Packet,
+    },
+    Timer {
+        flow: FlowId,
+        side: Side,
+        kind: u8,
+        gen: u64,
+    },
+    FlowStart {
+        flow: FlowId,
+    },
+    RcpUpdate {
+        dlink: DLinkId,
+    },
     Sample,
-    Fault { kind: FaultKind },
+    Fault {
+        kind: FaultKind,
+    },
+}
+
+/// Stable names for the per-kind event counters in [`EngineReport`],
+/// indexed by [`ev_kind_idx`].
+const EV_KIND_NAMES: [&str; 8] = [
+    "arrive",
+    "port_wake",
+    "host_rx",
+    "timer",
+    "flow_start",
+    "rcp_update",
+    "sample",
+    "fault",
+];
+
+fn ev_kind_idx(ev: &Ev) -> usize {
+    match ev {
+        Ev::Arrive { .. } => 0,
+        Ev::PortWake { .. } => 1,
+        Ev::HostRx { .. } => 2,
+        Ev::Timer { .. } => 3,
+        Ev::FlowStart { .. } => 4,
+        Ev::RcpUpdate { .. } => 5,
+        Ev::Sample => 6,
+        Ev::Fault { .. } => 7,
+    }
 }
 
 /// Global run counters.
@@ -68,6 +115,27 @@ pub struct Counters {
     pub pkts_lost_to_faults: u64,
     /// Flows aborted by their endpoints (e.g. SYN retries exhausted).
     pub flows_aborted: u64,
+}
+
+impl Counters {
+    /// Render as a JSON object (one key per counter).
+    pub fn to_json(&self) -> xpass_sim::json::Json {
+        use xpass_sim::json::Json;
+        Json::obj()
+            .with("credits_sent", Json::num_u64(self.credits_sent))
+            .with("credits_dropped", Json::num_u64(self.credits_dropped))
+            .with("credits_wasted", Json::num_u64(self.credits_wasted))
+            .with("data_dropped", Json::num_u64(self.data_dropped))
+            .with("payload_delivered", Json::num_u64(self.payload_delivered))
+            .with("ecn_marked", Json::num_u64(self.ecn_marked))
+            .with("faults_injected", Json::num_u64(self.faults_injected))
+            .with("pkts_corrupted", Json::num_u64(self.pkts_corrupted))
+            .with(
+                "pkts_lost_to_faults",
+                Json::num_u64(self.pkts_lost_to_faults),
+            )
+            .with("flows_aborted", Json::num_u64(self.flows_aborted))
+    }
 }
 
 /// How a flow ended (or is currently faring), on its [`FlowRecord`].
@@ -156,6 +224,17 @@ pub struct Network {
     /// Fault-injection state; `None` unless a plan was installed, and every
     /// fault hook is gated on that so fault-free runs are byte-identical.
     faults: Option<FaultState>,
+    /// Trace sink; `None` unless installed. Every emission site is gated on
+    /// `is_some()` and tracing never touches the RNG or event queue, so
+    /// sink-free runs are byte-identical.
+    trace: Option<Box<dyn TraceSink>>,
+    /// Invariant monitors; `None` unless installed (same contract).
+    invariants: Option<InvariantState>,
+    /// Events handled per kind (indexed by [`ev_kind_idx`]); always on —
+    /// plain counters that cannot affect simulation state.
+    ev_counts: [u64; 8],
+    /// Wall-clock seconds accumulated inside the run loops (reporting only).
+    wall_secs: f64,
     /// Global counters.
     counters: Counters,
     // --- sampling ---
@@ -238,6 +317,10 @@ impl Network {
             completed: 0,
             aborted: 0,
             faults: None,
+            trace: None,
+            invariants: None,
+            ev_counts: [0; 8],
+            wall_secs: 0.0,
             counters: Counters::default(),
             sample_interval: None,
             sample_scheduled: false,
@@ -252,7 +335,13 @@ impl Network {
 
     /// Add a flow; its endpoints are created from the network's factory and
     /// started at `start` (which must not be in the past).
-    pub fn add_flow(&mut self, src: HostId, dst: HostId, size_bytes: u64, start: SimTime) -> FlowId {
+    pub fn add_flow(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        size_bytes: u64,
+        start: SimTime,
+    ) -> FlowId {
         self.add_flow_in_class(src, dst, size_bytes, start, 0)
     }
 
@@ -315,8 +404,9 @@ impl Network {
         let n_dlinks = self.topo.dlinks.len();
         let n_hosts = self.topo.n_hosts;
         let seed = self.cfg.seed;
-        self.faults
-            .get_or_insert_with(|| FaultState::new(n_dlinks, n_hosts, Rng::new(seed ^ FAULT_RNG_SALT)));
+        self.faults.get_or_insert_with(|| {
+            FaultState::new(n_dlinks, n_hosts, Rng::new(seed ^ FAULT_RNG_SALT))
+        });
         for ev in plan.events {
             assert!(ev.at >= self.now, "fault event scheduled in the past");
             match ev.kind {
@@ -324,13 +414,89 @@ impl Network {
                 | FaultKind::LinkUp { dlink }
                 | FaultKind::SetLoss { dlink, .. }
                 | FaultKind::SetCorrupt { dlink, .. } => {
-                    assert!((dlink.0 as usize) < n_dlinks, "fault on unknown dlink {dlink:?}");
+                    assert!(
+                        (dlink.0 as usize) < n_dlinks,
+                        "fault on unknown dlink {dlink:?}"
+                    );
                 }
                 FaultKind::HostPause { host } | FaultKind::HostResume { host } => {
                     assert!((host.0 as usize) < n_hosts, "fault on unknown host {host}");
                 }
             }
             self.events.push(ev.at, Ev::Fault { kind: ev.kind });
+        }
+    }
+
+    /// Install a trace sink; subsequent simulation activity is narrated to
+    /// it as [`TraceEvent`]s. Replaces any previously installed sink.
+    /// Tracing is purely observational: a run with a sink installed produces
+    /// exactly the same counters and flow records as one without.
+    pub fn install_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Remove and return the installed trace sink (flushed), e.g. to inspect
+    /// a ring buffer after a run.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.trace.take();
+        if let Some(s) = sink.as_deref_mut() {
+            s.flush();
+        }
+        sink
+    }
+
+    /// True while a trace sink is installed. Endpoints use this to skip
+    /// building trace events entirely when tracing is off.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record one event on the installed sink (no-op without one).
+    #[inline]
+    pub(crate) fn trace_emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.record(&ev);
+        }
+    }
+
+    /// Install runtime invariant monitors (see [`crate::health`]). Checks
+    /// run at every switch-egress data enqueue; violations become trace
+    /// events (when a sink is installed) and accumulate in the
+    /// [`HealthReport`]. Replaces any previously installed monitors.
+    pub fn install_invariants(&mut self, spec: InvariantSpec) {
+        let is_switch_egress = self
+            .topo
+            .dlinks
+            .iter()
+            .map(|l| matches!(l.from, NodeId::Switch(_)))
+            .collect();
+        self.invariants = Some(InvariantState::new(spec, is_switch_egress));
+    }
+
+    /// The invariant monitors' findings. `monitored == false` (and all
+    /// counts zero) when [`install_invariants`](Self::install_invariants)
+    /// was never called.
+    pub fn health_report(&self) -> HealthReport {
+        match self.invariants.as_ref() {
+            Some(st) => st.report().clone(),
+            None => HealthReport::default(),
+        }
+    }
+
+    /// Engine profile of the run so far: events per kind, peak heap depth,
+    /// and wall-clock throughput. Wall time is measured around the run
+    /// loops and never feeds back into the simulation.
+    pub fn engine_report(&self) -> EngineReport {
+        EngineReport {
+            events_processed: self.events.events_processed(),
+            events_by_kind: EV_KIND_NAMES
+                .iter()
+                .zip(self.ev_counts.iter())
+                .map(|(&n, &c)| (n, c))
+                .collect(),
+            peak_queue_len: self.events.peak_len(),
+            wall_secs: self.wall_secs,
+            sim_secs: self.now.as_secs_f64(),
         }
     }
 
@@ -363,6 +529,7 @@ impl Network {
 
     /// Process events until (and including) time `t`; leaves `now == t`.
     pub fn run_until(&mut self, t: SimTime) {
+        let wall = std::time::Instant::now();
         while let Some(et) = self.events.peek_time() {
             if et > t {
                 break;
@@ -372,12 +539,20 @@ impl Network {
             self.handle(ev);
         }
         self.now = t;
+        self.wall_secs += wall.elapsed().as_secs_f64();
     }
 
     /// Run until every flow added so far (and any added by controllers
     /// during the run) settles — completes or is aborted by its endpoint —
     /// or until `cap`. Returns the time the last flow settled (or `cap`).
     pub fn run_until_done(&mut self, cap: SimTime) -> SimTime {
+        let wall = std::time::Instant::now();
+        let done_at = self.run_until_done_loop(cap);
+        self.wall_secs += wall.elapsed().as_secs_f64();
+        done_at
+    }
+
+    fn run_until_done_loop(&mut self, cap: SimTime) -> SimTime {
         let mut last_done = self.now;
         while self.completed + self.aborted < self.flows.len() {
             match self.events.pop() {
@@ -587,6 +762,14 @@ impl Network {
         if pkt.kind == PktKind::Credit {
             self.counters.credits_sent += 1;
             self.flows[pkt.flow.0 as usize].credits_sent += 1;
+            if self.trace.is_some() {
+                let ev = TraceEvent::CreditSent {
+                    at: self.now,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                };
+                self.trace_emit(ev);
+            }
         }
         if let Some(st) = self.faults.as_mut() {
             if st.paused[pkt.src.0 as usize] {
@@ -602,8 +785,15 @@ impl Network {
         let f = &mut self.flows[flow.0 as usize];
         f.timer_gen += 1;
         let gen = f.timer_gen;
-        self.events
-            .push(self.now + delay, Ev::Timer { flow, side, kind, gen });
+        self.events.push(
+            self.now + delay,
+            Ev::Timer {
+                flow,
+                side,
+                kind,
+                gen,
+            },
+        );
         gen
     }
 
@@ -613,15 +803,31 @@ impl Network {
         f.rx_bytes += bytes;
         if !f.done && f.rx_bytes >= f.info.size_bytes {
             f.done = true;
-            f.fct = Some(self.now.since(f.info.start));
+            let fct = self.now.since(f.info.start);
+            f.fct = Some(fct);
             self.completed += 1;
             self.pending.push(Pending::Completed(flow));
+            if self.trace.is_some() {
+                let ev = TraceEvent::FlowCompleted {
+                    at: self.now,
+                    flow: flow.0,
+                    fct_ps: fct.as_ps(),
+                };
+                self.trace_emit(ev);
+            }
         }
     }
 
     pub(crate) fn count_wasted_credit(&mut self, flow: FlowId) {
         self.counters.credits_wasted += 1;
         self.flows[flow.0 as usize].credits_wasted += 1;
+        if self.trace.is_some() {
+            let ev = TraceEvent::CreditWasted {
+                at: self.now,
+                flow: flow.0,
+            };
+            self.trace_emit(ev);
+        }
     }
 
     pub(crate) fn abort_flow(&mut self, flow: FlowId) {
@@ -632,18 +838,34 @@ impl Network {
         f.aborted = true;
         self.aborted += 1;
         self.counters.flows_aborted += 1;
+        if self.trace.is_some() {
+            let ev = TraceEvent::FlowAborted {
+                at: self.now,
+                flow: flow.0,
+            };
+            self.trace_emit(ev);
+        }
     }
 
     pub(crate) fn mark_stalled(&mut self, flow: FlowId, stalled: bool) {
         let f = &mut self.flows[flow.0 as usize];
-        if !f.done && !f.aborted {
+        if !f.done && !f.aborted && f.stalled != stalled {
             f.stalled = stalled;
+            if self.trace.is_some() {
+                let ev = TraceEvent::FlowStalled {
+                    at: self.now,
+                    flow: flow.0,
+                    stalled,
+                };
+                self.trace_emit(ev);
+            }
         }
     }
 
     // ----- event handling ----------------------------------------------------
 
     fn handle(&mut self, ev: Ev) {
+        self.ev_counts[ev_kind_idx(&ev)] += 1;
         match ev {
             Ev::Arrive { dlink, pkt } => self.on_arrive(dlink, pkt),
             Ev::PortWake { dlink } => self.port_wake(dlink),
@@ -659,6 +881,15 @@ impl Network {
                 }
             }
             Ev::FlowStart { flow } => {
+                if self.trace.is_some() {
+                    let info = &self.flows[flow.0 as usize].info;
+                    let ev = TraceEvent::FlowStarted {
+                        at: self.now,
+                        flow: flow.0,
+                        size_bytes: info.size_bytes,
+                    };
+                    self.trace_emit(ev);
+                }
                 self.dispatch(flow, Side::Receiver, |ep, ctx| ep.on_start(ctx));
                 self.dispatch(flow, Side::Sender, |ep, ctx| ep.on_start(ctx));
                 self.pending.push(Pending::Started(flow));
@@ -681,6 +912,13 @@ impl Network {
     fn apply_fault(&mut self, kind: FaultKind) {
         self.counters.faults_injected += 1;
         let now = self.now;
+        if self.trace.is_some() {
+            let ev = TraceEvent::FaultApplied {
+                at: now,
+                desc: format!("{kind:?}"),
+            };
+            self.trace_emit(ev);
+        }
         let st = self.faults.as_mut().expect("Ev::Fault without fault state");
         match kind {
             FaultKind::LinkDown { dlink, flush } => {
@@ -703,7 +941,11 @@ impl Network {
                 // Frozen backlog (and anything enqueued while down) resumes.
                 self.events.push(now, Ev::PortWake { dlink });
             }
-            FaultKind::SetLoss { dlink, data, credit } => {
+            FaultKind::SetLoss {
+                dlink,
+                data,
+                credit,
+            } => {
                 let lf = &mut st.links[dlink.0 as usize];
                 lf.loss_data = data;
                 lf.loss_credit = credit;
@@ -833,9 +1075,13 @@ impl Network {
                 }
             }
         }
+        let tracing = self.trace.is_some();
+        let class = pkt.kind.trace_class();
+        let flow = pkt.flow.0;
+        let bytes = pkt.size;
         let rng = &mut self.rng;
         let port = &mut self.ports[dlink.0 as usize];
-        let accepted = match pkt.kind {
+        match pkt.kind {
             PktKind::Credit => {
                 let cq = port
                     .credit
@@ -845,25 +1091,91 @@ impl Network {
                 if !ok {
                     self.counters.credits_dropped += 1;
                 }
-                ok
+                if tracing {
+                    // `enqueue` returning false means one credit was dropped
+                    // (the arrival or a random resident); the trace charges
+                    // the arrival's identity either way. Occupancy for the
+                    // credit class is in packets, not bytes.
+                    let ev = if ok {
+                        TraceEvent::PktEnqueue {
+                            at: now,
+                            dlink: dlink.0,
+                            class,
+                            flow,
+                            bytes,
+                            qlen_bytes: cq.len() as u64,
+                        }
+                    } else {
+                        TraceEvent::PktDrop {
+                            at: now,
+                            dlink: dlink.0,
+                            class,
+                            flow,
+                            bytes,
+                        }
+                    };
+                    self.trace_emit(ev);
+                }
             }
             _ => {
-                let was_marked = pkt.ecn;
                 let is_data = pkt.kind == PktKind::Data;
-                // Peek mark stats delta via queue counters.
-                let marked_before = port.data.stats.marked;
-                let ok = port.data.enqueue(now, pkt);
-                if !ok {
+                let out = port.data.enqueue_outcome(now, pkt);
+                if !out.accepted {
                     if is_data {
                         self.counters.data_dropped += 1;
                     }
-                } else if port.data.stats.marked > marked_before && !was_marked {
+                } else if out.newly_marked {
                     self.counters.ecn_marked += 1;
                 }
-                ok
+                if tracing {
+                    let ev = if out.accepted {
+                        TraceEvent::PktEnqueue {
+                            at: now,
+                            dlink: dlink.0,
+                            class,
+                            flow,
+                            bytes,
+                            qlen_bytes: out.qlen_bytes,
+                        }
+                    } else {
+                        TraceEvent::PktDrop {
+                            at: now,
+                            dlink: dlink.0,
+                            class,
+                            flow,
+                            bytes,
+                        }
+                    };
+                    self.trace_emit(ev);
+                    if out.newly_marked {
+                        let ev = TraceEvent::EcnMark {
+                            at: now,
+                            dlink: dlink.0,
+                            flow,
+                            qlen_bytes: out.qlen_bytes,
+                        };
+                        self.trace_emit(ev);
+                    }
+                }
+                if is_data {
+                    if let Some(inv) = self.invariants.as_mut() {
+                        if inv.is_switch_egress[dlink.0 as usize] {
+                            let violation = if out.accepted {
+                                inv.on_switch_data_enqueue(now, dlink.0, out.qlen_bytes)
+                            } else {
+                                inv.on_switch_data_drop(now, dlink.0, bytes)
+                            };
+                            if let Some(ev) = violation {
+                                if let Some(sink) = self.trace.as_mut() {
+                                    sink.record(&ev);
+                                }
+                            }
+                        }
+                    }
+                }
             }
         };
-        let _ = accepted;
+        let port = &mut self.ports[dlink.0 as usize];
         if !suppress_wake && !port.is_busy(now) {
             self.events.push(now, Ev::PortWake { dlink });
         }
@@ -877,7 +1189,7 @@ impl Network {
         }
         let now = self.now;
         let port = &mut self.ports[dlink.0 as usize];
-        match port.try_transmit(now) {
+        match port.try_transmit(now, self.trace.as_deref_mut()) {
             TxDecision::Transmit(pkt) => {
                 let done = port.tx_done_at();
                 let prop = port.prop_delay;
@@ -1034,7 +1346,9 @@ mod tests {
         }
 
         fn on_timer(&mut self, kind: u8, _gen: u64, _ctx: &mut Ctx<'_>) {
-            self.log.borrow_mut().push(format!("{}:timer:{kind}", self.side));
+            self.log
+                .borrow_mut()
+                .push(format!("{}:timer:{kind}", self.side));
         }
 
         fn as_any(&mut self) -> &mut dyn Any {
@@ -1103,8 +1417,14 @@ mod tests {
         net.add_flow(HostId(0), HostId(1), 1_000_000, SimTime::ZERO);
         net.run_until(SimTime::ZERO + Dur::ms(1));
         let entries = log.borrow().clone();
-        let d = entries.iter().position(|e| e.starts_with("rx:pkt:Data")).unwrap();
-        let c = entries.iter().position(|e| e.starts_with("rx:pkt:Ctrl")).unwrap();
+        let d = entries
+            .iter()
+            .position(|e| e.starts_with("rx:pkt:Data"))
+            .unwrap();
+        let c = entries
+            .iter()
+            .position(|e| e.starts_with("rx:pkt:Ctrl"))
+            .unwrap();
         // Data was sent first and both share the FIFO data class: with
         // deterministic host delay the ctrl packet cannot overtake.
         assert!(d < c);
@@ -1129,8 +1449,14 @@ mod tests {
             }
             fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut Ctx<'_>) {}
             fn on_timer(&mut self, kind: u8, gen: u64, _ctx: &mut Ctx<'_>) {
-                let verdict = if self.slot.matches(gen) { "live" } else { "stale" };
-                self.log.borrow_mut().push(format!("timer:{kind}:{verdict}"));
+                let verdict = if self.slot.matches(gen) {
+                    "live"
+                } else {
+                    "stale"
+                };
+                self.log
+                    .borrow_mut()
+                    .push(format!("timer:{kind}:{verdict}"));
             }
             fn as_any(&mut self) -> &mut dyn Any {
                 self

@@ -62,6 +62,20 @@ pub enum PktKind {
     Ctrl,
 }
 
+impl PktKind {
+    /// The telemetry class used in trace events (`xpass-sim` sits below
+    /// this crate, so its [`TraceClass`](xpass_sim::trace::TraceClass)
+    /// mirrors this enum with raw ids).
+    pub fn trace_class(self) -> xpass_sim::trace::TraceClass {
+        match self {
+            PktKind::Data => xpass_sim::trace::TraceClass::Data,
+            PktKind::Ack => xpass_sim::trace::TraceClass::Ack,
+            PktKind::Credit => xpass_sim::trace::TraceClass::Credit,
+            PktKind::Ctrl => xpass_sim::trace::TraceClass::Ctrl,
+        }
+    }
+}
+
 /// Control-packet subtypes carried in [`Packet::flag`].
 pub mod ctrl {
     /// Connection open (carries a piggybacked credit request, §3.1).
@@ -178,7 +192,13 @@ mod tests {
 
     #[test]
     fn packet_template_defaults() {
-        let p = Packet::new(FlowId(1), HostId(2), HostId(3), PktKind::Credit, CREDIT_SIZE);
+        let p = Packet::new(
+            FlowId(1),
+            HostId(2),
+            HostId(3),
+            PktKind::Credit,
+            CREDIT_SIZE,
+        );
         assert_eq!(p.size, 84);
         assert!(!p.ecn);
         assert!(p.rate.is_infinite());

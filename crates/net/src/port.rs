@@ -18,6 +18,7 @@ use crate::packet::{Packet, PktKind};
 use crate::queue::{CreditQueue, DataQueue};
 use crate::rcplink::RcpLink;
 use xpass_sim::time::{tx_time, Dur, SimTime};
+use xpass_sim::trace::{TraceEvent, TraceSink};
 
 /// What an idle port wants to do next.
 #[derive(Debug)]
@@ -103,7 +104,15 @@ impl EgressPort {
     /// On `Transmit`, the transmitter is marked busy through the packet's
     /// serialization time and byte counters are updated; the caller delivers
     /// the packet to the far end after `prop_delay`.
-    pub fn try_transmit(&mut self, now: SimTime) -> TxDecision {
+    ///
+    /// `trace` (pass `None` when tracing is off) receives a
+    /// [`TraceEvent::PktDequeue`] for each packet leaving a queue; it never
+    /// affects the decision.
+    pub fn try_transmit(
+        &mut self,
+        now: SimTime,
+        mut trace: Option<&mut (dyn TraceSink + 'static)>,
+    ) -> TxDecision {
         if self.is_busy(now) {
             // A wake is already pending at busy_until; spurious call.
             return TxDecision::Idle;
@@ -113,6 +122,9 @@ impl EgressPort {
         if let Some(cq) = self.credit.as_mut() {
             if cq.head_conforms(now) {
                 let pkt = cq.dequeue(now).expect("head_conforms implies nonempty");
+                if let Some(sink) = trace.as_deref_mut() {
+                    sink.record(&dequeue_event(now, self.dlink, &pkt));
+                }
                 return TxDecision::Transmit(self.start_tx(now, pkt));
             }
         }
@@ -128,6 +140,9 @@ impl EgressPort {
                     };
                     rcp.on_packet(pkt.size, rtt);
                 }
+            }
+            if let Some(sink) = trace {
+                sink.record(&dequeue_event(now, self.dlink, &pkt));
             }
             return TxDecision::Transmit(self.start_tx(now, pkt));
         }
@@ -174,6 +189,16 @@ impl EgressPort {
     }
 }
 
+fn dequeue_event(now: SimTime, dlink: DLinkId, pkt: &Packet) -> TraceEvent {
+    TraceEvent::PktDequeue {
+        at: now,
+        dlink: dlink.0,
+        class: pkt.kind.trace_class(),
+        flow: pkt.flow.0,
+        bytes: pkt.size,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,7 +225,13 @@ mod tests {
     }
 
     fn credit_pkt() -> Packet {
-        Packet::new(FlowId(0), HostId(1), HostId(0), PktKind::Credit, CREDIT_SIZE)
+        Packet::new(
+            FlowId(0),
+            HostId(1),
+            HostId(0),
+            PktKind::Credit,
+            CREDIT_SIZE,
+        )
     }
 
     fn rng() -> xpass_sim::rng::Rng {
@@ -211,7 +242,7 @@ mod tests {
     fn transmits_data_when_idle() {
         let mut p = port(false);
         p.data.enqueue(SimTime::ZERO, data_pkt());
-        match p.try_transmit(SimTime::ZERO) {
+        match p.try_transmit(SimTime::ZERO, None) {
             TxDecision::Transmit(pkt) => assert_eq!(pkt.size, MAX_FRAME),
             other => panic!("{other:?}"),
         }
@@ -226,14 +257,14 @@ mod tests {
     fn idle_when_busy() {
         let mut p = port(false);
         p.data.enqueue(SimTime::ZERO, data_pkt());
-        let _ = p.try_transmit(SimTime::ZERO);
+        let _ = p.try_transmit(SimTime::ZERO, None);
         p.data.enqueue(SimTime::ZERO, data_pkt());
-        match p.try_transmit(SimTime::ZERO + Dur::ns(100)) {
+        match p.try_transmit(SimTime::ZERO + Dur::ns(100), None) {
             TxDecision::Idle => {}
             other => panic!("{other:?}"),
         }
         // After serialization completes, the next packet goes out.
-        match p.try_transmit(p.tx_done_at()) {
+        match p.try_transmit(p.tx_done_at(), None) {
             TxDecision::Transmit(_) => {}
             other => panic!("{other:?}"),
         }
@@ -243,8 +274,11 @@ mod tests {
     fn conforming_credit_beats_data() {
         let mut p = port(true);
         p.data.enqueue(SimTime::ZERO, data_pkt());
-        p.credit.as_mut().unwrap().enqueue(SimTime::ZERO, credit_pkt(), &mut rng());
-        match p.try_transmit(SimTime::ZERO) {
+        p.credit
+            .as_mut()
+            .unwrap()
+            .enqueue(SimTime::ZERO, credit_pkt(), &mut rng());
+        match p.try_transmit(SimTime::ZERO, None) {
             TxDecision::Transmit(pkt) => assert_eq!(pkt.kind, PktKind::Credit),
             other => panic!("{other:?}"),
         }
@@ -256,16 +290,22 @@ mod tests {
         let mut p = port(true);
         // Exhaust the meter burst.
         for _ in 0..2 {
-            p.credit.as_mut().unwrap().enqueue(SimTime::ZERO, credit_pkt(), &mut rng());
+            p.credit
+                .as_mut()
+                .unwrap()
+                .enqueue(SimTime::ZERO, credit_pkt(), &mut rng());
         }
-        let _ = p.try_transmit(SimTime::ZERO);
+        let _ = p.try_transmit(SimTime::ZERO, None);
         let t1 = p.tx_done_at();
-        let _ = p.try_transmit(t1);
+        let _ = p.try_transmit(t1, None);
         let t2 = p.tx_done_at();
         // Third credit has no tokens; data must flow instead.
-        p.credit.as_mut().unwrap().enqueue(t2, credit_pkt(), &mut rng());
+        p.credit
+            .as_mut()
+            .unwrap()
+            .enqueue(t2, credit_pkt(), &mut rng());
         p.data.enqueue(t2, data_pkt());
-        match p.try_transmit(t2) {
+        match p.try_transmit(t2, None) {
             TxDecision::Transmit(pkt) => assert_eq!(pkt.kind, PktKind::Data),
             other => panic!("{other:?}"),
         }
@@ -275,21 +315,24 @@ mod tests {
     fn waits_for_meter_when_only_credits() {
         let mut p = port(true);
         for _ in 0..3 {
-            p.credit.as_mut().unwrap().enqueue(SimTime::ZERO, credit_pkt(), &mut rng());
+            p.credit
+                .as_mut()
+                .unwrap()
+                .enqueue(SimTime::ZERO, credit_pkt(), &mut rng());
         }
-        let _ = p.try_transmit(SimTime::ZERO); // burst 1
-        let _ = p.try_transmit(p.tx_done_at()); // burst 2
+        let _ = p.try_transmit(SimTime::ZERO, None); // burst 1
+        let _ = p.try_transmit(p.tx_done_at(), None); // burst 2
         let t = p.tx_done_at();
-        match p.try_transmit(t) {
+        match p.try_transmit(t, None) {
             TxDecision::WaitUntil(w) => {
                 assert!(w > t);
                 // Asking again returns Idle (wake already pending).
-                match p.try_transmit(t) {
+                match p.try_transmit(t, None) {
                     TxDecision::Idle => {}
                     other => panic!("{other:?}"),
                 }
                 // At the wake time the credit goes out.
-                match p.try_transmit(w) {
+                match p.try_transmit(w, None) {
                     TxDecision::Transmit(pkt) => assert_eq!(pkt.kind, PktKind::Credit),
                     other => panic!("{other:?}"),
                 }
@@ -301,7 +344,7 @@ mod tests {
     #[test]
     fn empty_port_is_idle() {
         let mut p = port(true);
-        match p.try_transmit(SimTime::ZERO) {
+        match p.try_transmit(SimTime::ZERO, None) {
             TxDecision::Idle => {}
             other => panic!("{other:?}"),
         }
@@ -321,7 +364,7 @@ mod tests {
                 cq.enqueue(now, credit_pkt(), &mut rng());
                 queued += 1;
             }
-            match p.try_transmit(now) {
+            match p.try_transmit(now, None) {
                 TxDecision::Transmit(_) => now = p.tx_done_at(),
                 TxDecision::WaitUntil(w) => now = w,
                 TxDecision::Idle => break,

@@ -76,6 +76,18 @@ pub struct QueueStats {
     pub max_bytes: u64,
 }
 
+/// What happened to a packet offered to a [`DataQueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnqueueOutcome {
+    /// The packet was accepted (false = tail drop).
+    pub accepted: bool,
+    /// The packet picked up an ECN mark on this enqueue (it arrived
+    /// unmarked and left the admission path marked).
+    pub newly_marked: bool,
+    /// Queue occupancy in bytes after the operation.
+    pub qlen_bytes: u64,
+}
+
 /// Drop-tail FIFO data queue with optional ECN and phantom-queue marking.
 #[derive(Debug)]
 pub struct DataQueue {
@@ -105,11 +117,23 @@ impl DataQueue {
 
     /// Attempt to enqueue; returns `false` (and counts a drop) when the
     /// packet does not fit. Applies ECN/phantom marking on accepted packets.
-    pub fn enqueue(&mut self, now: SimTime, mut pkt: Packet) -> bool {
+    pub fn enqueue(&mut self, now: SimTime, pkt: Packet) -> bool {
+        self.enqueue_outcome(now, pkt).accepted
+    }
+
+    /// [`enqueue`](Self::enqueue) reporting the full [`EnqueueOutcome`]
+    /// (accepted / newly ECN-marked / resulting occupancy) so callers can
+    /// observe what happened without peeking at `stats` deltas.
+    pub fn enqueue_outcome(&mut self, now: SimTime, mut pkt: Packet) -> EnqueueOutcome {
         if self.len_bytes + pkt.size as u64 > self.cap_bytes {
             self.stats.dropped += 1;
-            return false;
+            return EnqueueOutcome {
+                accepted: false,
+                newly_marked: false,
+                qlen_bytes: self.len_bytes,
+            };
         }
+        let was_marked = pkt.ecn;
         self.len_bytes += pkt.size as u64;
         self.stats.enqueued += 1;
         self.stats.max_bytes = self.stats.max_bytes.max(self.len_bytes);
@@ -129,9 +153,14 @@ impl DataQueue {
                 pkt.ecn = true;
             }
         }
+        let newly_marked = pkt.ecn && !was_marked;
         pkt.enq_t = now;
         self.q.push_back(pkt);
-        true
+        EnqueueOutcome {
+            accepted: true,
+            newly_marked,
+            qlen_bytes: self.len_bytes,
+        }
     }
 
     /// Dequeue the head packet, updating its accumulated queuing delay.
@@ -251,7 +280,12 @@ impl CreditQueue {
     /// class is dropped according to [`drop_policy`](Self::drop_policy);
     /// returns `false` iff a drop occurred (the arrival may still have been
     /// admitted at the expense of a resident credit).
-    pub fn enqueue(&mut self, now: SimTime, mut pkt: Packet, rng: &mut xpass_sim::rng::Rng) -> bool {
+    pub fn enqueue(
+        &mut self,
+        now: SimTime,
+        mut pkt: Packet,
+        rng: &mut xpass_sim::rng::Rng,
+    ) -> bool {
         let class = (pkt.class as usize).min(self.qs.len() - 1);
         if self.qs[class].len() >= self.cap_pkts {
             self.stats.dropped += 1;
@@ -389,7 +423,13 @@ mod tests {
     }
 
     fn credit_pkt() -> Packet {
-        Packet::new(FlowId(0), HostId(1), HostId(0), PktKind::Credit, CREDIT_SIZE)
+        Packet::new(
+            FlowId(0),
+            HostId(1),
+            HostId(0),
+            PktKind::Credit,
+            CREDIT_SIZE,
+        )
     }
 
     fn rng() -> xpass_sim::rng::Rng {
@@ -508,6 +548,30 @@ mod tests {
         let d = cq.max_drain_time();
         let us = d.as_micros_f64();
         assert!((10.0..11.0).contains(&us), "{us}");
+    }
+
+    #[test]
+    fn enqueue_outcome_reports_admission_and_marking() {
+        let mut q = DataQueue::new(4000);
+        q.ecn = Some(EcnCfg { k_bytes: 1600 });
+        let ok = q.enqueue_outcome(SimTime::ZERO, data_pkt(1538));
+        assert!(ok.accepted);
+        assert!(!ok.newly_marked);
+        assert_eq!(ok.qlen_bytes, 1538);
+        let marked = q.enqueue_outcome(SimTime::ZERO, data_pkt(1538));
+        assert!(marked.accepted);
+        assert!(marked.newly_marked, "3076 > K=1600");
+        assert_eq!(marked.qlen_bytes, 3076);
+        // Already-marked arrivals are not "newly" marked.
+        let mut pre = data_pkt(100);
+        pre.ecn = true;
+        let pre_out = q.enqueue_outcome(SimTime::ZERO, pre);
+        assert!(pre_out.accepted && !pre_out.newly_marked);
+        // Overflow: rejected, occupancy unchanged.
+        let full = q.enqueue_outcome(SimTime::ZERO, data_pkt(1538));
+        assert!(!full.accepted);
+        assert_eq!(full.qlen_bytes, 3176);
+        assert_eq!(q.stats.dropped, 1);
     }
 
     #[test]

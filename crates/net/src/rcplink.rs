@@ -108,8 +108,8 @@ impl RcpLink {
         let spare = self.params.alpha * (self.cap_bps - y);
         let drain = self.params.beta * q_bits / d0;
         let factor = 1.0 + (t / d0) * (spare - drain) / self.cap_bps;
-        self.rate_bps = (self.rate_bps * factor)
-            .clamp(self.cap_bps * self.params.min_rate_frac, self.cap_bps);
+        self.rate_bps =
+            (self.rate_bps * factor).clamp(self.cap_bps * self.params.min_rate_frac, self.cap_bps);
     }
 
     /// Stamp a packet's rate field with `min(current, R)`.

@@ -75,10 +75,7 @@ mod tests {
             counts[ecmp_index(HostId(1), HostId(2), FlowId(f), n)] += 1;
         }
         for &c in &counts {
-            assert!(
-                (2000..3000).contains(&c),
-                "uneven ECMP spread: {counts:?}"
-            );
+            assert!((2000..3000).contains(&c), "uneven ECMP spread: {counts:?}");
         }
     }
 

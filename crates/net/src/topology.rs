@@ -483,8 +483,8 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::routing::ecmp_index;
     use crate::ids::FlowId;
+    use crate::routing::ecmp_index;
 
     const G10: u64 = 10_000_000_000;
 

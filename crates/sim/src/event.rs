@@ -16,6 +16,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     popped: u64,
+    peak: usize,
 }
 
 struct Entry<E> {
@@ -53,6 +54,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(1024),
             seq: 0,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -65,6 +67,9 @@ impl<E> EventQueue<E> {
             key: Reverse((at, seq)),
             event,
         });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     /// Pop the earliest event, returning `(time, event)`.
@@ -98,6 +103,12 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn events_processed(&self) -> u64 {
         self.popped
+    }
+
+    /// Deepest the queue has been since creation (for perf reporting).
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -151,6 +162,19 @@ mod tests {
         }
         while q.pop().is_some() {}
         assert_eq!(q.events_processed(), 10);
+    }
+
+    #[test]
+    fn tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.push(SimTime(1), ());
+        q.push(SimTime(2), ());
+        q.push(SimTime(3), ());
+        q.pop();
+        q.pop();
+        q.push(SimTime(4), ());
+        assert_eq!(q.peak_len(), 3, "peak survives drains");
     }
 
     #[test]

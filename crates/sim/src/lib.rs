@@ -18,17 +18,29 @@
 //! * [`stats`] — online statistics, percentiles, time-weighted averages
 //!   (queue occupancy), histograms, CDFs, and Jain's fairness index.
 //! * [`bucket`] — token/leaky bucket used by credit rate-limiters.
-
+//! * [`json`] — a hand-rolled JSON value type (serializer + parser) for
+//!   machine-readable output; the workspace builds offline with no crates.
+//! * [`trace`] — typed [`trace::TraceEvent`] stream with pluggable
+//!   [`trace::TraceSink`]s (ring buffer, JSONL file); zero-cost when no
+//!   sink is installed.
+//! * [`profile`] — [`profile::EngineReport`] summarizing engine activity
+//!   (events per kind, peak heap depth, wall-clock events/sec).
 
 #![warn(missing_docs)]
 pub mod bucket;
 pub mod event;
+pub mod json;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use bucket::TokenBucket;
 pub use event::EventQueue;
+pub use json::Json;
+pub use profile::EngineReport;
 pub use rng::Rng;
 pub use stats::{Cdf, Histogram, OnlineStats, Percentiles, TimeWeighted};
 pub use time::{Dur, SimTime};
+pub use trace::{JsonlSink, RingSink, TraceEvent, TraceSink};

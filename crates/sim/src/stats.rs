@@ -180,6 +180,22 @@ impl Percentiles {
         self.samples[0]
     }
 
+    /// The retained samples, sorted ascending.
+    pub fn samples(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.samples
+    }
+
+    /// Absorb all of `other`'s samples (exact merge — the combined
+    /// collection is identical to having added every sample here).
+    pub fn merge(&mut self, other: &Percentiles) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Extract a CDF with at most `max_points` evenly spaced rank points.
     pub fn cdf(&mut self, max_points: usize) -> Cdf {
         self.ensure_sorted();
@@ -210,13 +226,16 @@ pub struct Cdf {
 
 impl Cdf {
     /// Value at a given cumulative probability (nearest point at or above).
+    ///
+    /// Binary search over the sorted probability column: `partition_point`
+    /// finds the first point with `p >= q`, matching the former linear scan
+    /// exactly (including `q` past the last point → last value, empty → 0).
     pub fn value_at(&self, q: f64) -> f64 {
-        for &(v, p) in &self.points {
-            if p >= q {
-                return v;
-            }
+        let idx = self.points.partition_point(|&(_, p)| p < q);
+        match self.points.get(idx).or(self.points.last()) {
+            Some(&(v, _)) => v,
+            None => 0.0,
         }
-        self.points.last().map(|&(v, _)| v).unwrap_or(0.0)
     }
 }
 
@@ -445,6 +464,77 @@ mod tests {
         p.add(9.0);
         assert_eq!(p.median(), 5.0);
         assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn percentiles_merge_is_exact() {
+        let mut a = Percentiles::new();
+        let mut b = Percentiles::new();
+        let mut all = Percentiles::new();
+        for i in 0..50 {
+            a.add((i * 7 % 50) as f64);
+            all.add((i * 7 % 50) as f64);
+        }
+        for i in 0..30 {
+            b.add((i * 13 % 100) as f64);
+            all.add((i * 13 % 100) as f64);
+        }
+        a.merge(&b);
+        a.merge(&Percentiles::new()); // empty merge is a no-op
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.samples(), all.samples());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn percentiles_samples_sorted_view() {
+        let mut p = Percentiles::new();
+        for x in [3.0, 1.0, 2.0] {
+            p.add(x);
+        }
+        assert_eq!(p.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cdf_value_at_boundaries() {
+        let cdf = Cdf {
+            points: vec![(10.0, 0.25), (20.0, 0.5), (30.0, 0.75), (40.0, 1.0)],
+        };
+        // At/below the first point's probability.
+        assert_eq!(cdf.value_at(0.0), 10.0);
+        assert_eq!(cdf.value_at(0.25), 10.0);
+        // Exactly on and between interior points.
+        assert_eq!(cdf.value_at(0.26), 20.0);
+        assert_eq!(cdf.value_at(0.5), 20.0);
+        assert_eq!(cdf.value_at(0.75), 30.0);
+        // At and past the top.
+        assert_eq!(cdf.value_at(1.0), 40.0);
+        assert_eq!(cdf.value_at(1.5), 40.0);
+        // Empty CDF.
+        let empty = Cdf { points: vec![] };
+        assert_eq!(empty.value_at(0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_value_at_matches_linear_scan() {
+        let mut p = Percentiles::new();
+        for i in 1..=997 {
+            p.add((i * 31 % 1000) as f64);
+        }
+        let cdf = p.cdf(50);
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let linear = cdf
+                .points
+                .iter()
+                .find(|&&(_, pr)| pr >= q)
+                .or(cdf.points.last())
+                .map(|&(v, _)| v)
+                .unwrap_or(0.0);
+            assert_eq!(cdf.value_at(q), linear, "q={q}");
+        }
     }
 
     #[test]

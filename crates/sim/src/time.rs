@@ -95,7 +95,10 @@ impl Dur {
     /// the hot path stays in integers.
     #[inline]
     pub fn from_secs_f64(v: f64) -> Dur {
-        assert!(v >= 0.0 && v.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            v >= 0.0 && v.is_finite(),
+            "duration must be finite and non-negative"
+        );
         Dur((v * 1e12).round() as u64)
     }
 

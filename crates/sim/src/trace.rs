@@ -1,0 +1,587 @@
+//! Structured event tracing: a typed event stream with pluggable sinks.
+//!
+//! The simulator can narrate everything it does — packet queueing, ECN
+//! marks, credit accounting, feedback-loop updates, flow lifecycle,
+//! invariant violations — as typed [`TraceEvent`]s delivered to a
+//! [`TraceSink`]. Tracing follows the same zero-cost-when-disabled contract
+//! as fault injection: the network holds `Option<Box<dyn TraceSink>>`, every
+//! emission site is gated on `is_some()`, and tracing never touches the RNG
+//! or the event queue, so a run with no sink installed is byte-identical to
+//! a build without the feature.
+//!
+//! Identifier fields are raw integers (`u32` flow/link ids) rather than the
+//! network crate's newtypes, because this crate sits below `xpass-net` in
+//! the dependency graph. `u32::MAX` marks "no flow" (e.g. a queue-level
+//! event not attributable to one flow).
+
+use crate::json::Json;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Flow-id sentinel for events not attributable to a single flow.
+pub const NO_FLOW: u32 = u32::MAX;
+
+/// Traffic class of a traced packet (mirrors `xpass-net`'s `PktKind`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceClass {
+    /// Data segment.
+    Data,
+    /// Acknowledgement / control echo.
+    Ack,
+    /// ExpressPass credit.
+    Credit,
+    /// Connection-control packet (SYN / CREDIT_STOP / ...).
+    Ctrl,
+}
+
+impl TraceClass {
+    /// Short lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceClass::Data => "data",
+            TraceClass::Ack => "ack",
+            TraceClass::Credit => "credit",
+            TraceClass::Ctrl => "ctrl",
+        }
+    }
+}
+
+/// One structured simulator event.
+///
+/// `at` is always the simulation time of the event. Sizes are wire bytes;
+/// rates are credits/sec or bits/sec as noted per variant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A packet was accepted into a queue on directed link `dlink`.
+    PktEnqueue {
+        /// Event time.
+        at: SimTime,
+        /// Directed link index of the queue.
+        dlink: u32,
+        /// Packet class.
+        class: TraceClass,
+        /// Owning flow (or [`NO_FLOW`]).
+        flow: u32,
+        /// Wire size in bytes.
+        bytes: u32,
+        /// Queue occupancy after the enqueue: bytes for data-class queues,
+        /// resident credit *packets* for the credit class (credit queues are
+        /// sized and policed in packets, §3.1).
+        qlen_bytes: u64,
+    },
+    /// A packet left a queue and began transmission.
+    PktDequeue {
+        /// Event time.
+        at: SimTime,
+        /// Directed link index of the queue.
+        dlink: u32,
+        /// Packet class.
+        class: TraceClass,
+        /// Owning flow (or [`NO_FLOW`]).
+        flow: u32,
+        /// Wire size in bytes.
+        bytes: u32,
+    },
+    /// A packet was dropped at a queue (drop-tail overflow or credit-queue
+    /// policy drop).
+    PktDrop {
+        /// Event time.
+        at: SimTime,
+        /// Directed link index of the queue.
+        dlink: u32,
+        /// Packet class.
+        class: TraceClass,
+        /// Owning flow (or [`NO_FLOW`]).
+        flow: u32,
+        /// Wire size in bytes.
+        bytes: u32,
+    },
+    /// A data packet was ECN-marked on enqueue.
+    EcnMark {
+        /// Event time.
+        at: SimTime,
+        /// Directed link index of the queue.
+        dlink: u32,
+        /// Owning flow (or [`NO_FLOW`]).
+        flow: u32,
+        /// Queue occupancy in bytes that triggered the mark.
+        qlen_bytes: u64,
+    },
+    /// A receiver emitted a credit packet.
+    CreditSent {
+        /// Event time.
+        at: SimTime,
+        /// Owning flow.
+        flow: u32,
+        /// Credit sequence number.
+        seq: u64,
+    },
+    /// A credit reached the sender but triggered no data (paper §6.3).
+    CreditWasted {
+        /// Event time.
+        at: SimTime,
+        /// Owning flow.
+        flow: u32,
+    },
+    /// The credit feedback loop updated (Algorithm 1).
+    FeedbackUpdate {
+        /// Event time.
+        at: SimTime,
+        /// Owning flow.
+        flow: u32,
+        /// Observed credit-loss ratio for the period.
+        loss: f64,
+        /// Aggressiveness factor `w` after the update.
+        w: f64,
+        /// Credit rate after the update, credits/sec.
+        rate_cps: f64,
+    },
+    /// A flow started.
+    FlowStarted {
+        /// Event time.
+        at: SimTime,
+        /// Flow id.
+        flow: u32,
+        /// Application bytes to transfer.
+        size_bytes: u64,
+    },
+    /// A flow delivered all its bytes.
+    FlowCompleted {
+        /// Event time.
+        at: SimTime,
+        /// Flow id.
+        flow: u32,
+        /// Flow completion time in picoseconds.
+        fct_ps: u64,
+    },
+    /// A flow's forward-progress stall flag changed.
+    FlowStalled {
+        /// Event time.
+        at: SimTime,
+        /// Flow id.
+        flow: u32,
+        /// New stall state.
+        stalled: bool,
+    },
+    /// A flow gave up (e.g. connection retries exhausted).
+    FlowAborted {
+        /// Event time.
+        at: SimTime,
+        /// Flow id.
+        flow: u32,
+    },
+    /// An injected fault fired.
+    FaultApplied {
+        /// Event time.
+        at: SimTime,
+        /// Debug rendering of the fault kind.
+        desc: String,
+    },
+    /// A runtime invariant monitor detected a violation.
+    InvariantViolation {
+        /// Event time.
+        at: SimTime,
+        /// Name of the violated invariant (`"data_queue_bound"` /
+        /// `"zero_data_loss"`).
+        invariant: &'static str,
+        /// Directed link index where the violation was observed.
+        dlink: u32,
+        /// Observed value (queue bytes, or dropped-packet size).
+        observed: u64,
+        /// The bound that was exceeded (0 for zero-loss).
+        bound: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable machine-readable event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::PktEnqueue { .. } => "pkt_enqueue",
+            TraceEvent::PktDequeue { .. } => "pkt_dequeue",
+            TraceEvent::PktDrop { .. } => "pkt_drop",
+            TraceEvent::EcnMark { .. } => "ecn_mark",
+            TraceEvent::CreditSent { .. } => "credit_sent",
+            TraceEvent::CreditWasted { .. } => "credit_wasted",
+            TraceEvent::FeedbackUpdate { .. } => "feedback_update",
+            TraceEvent::FlowStarted { .. } => "flow_started",
+            TraceEvent::FlowCompleted { .. } => "flow_completed",
+            TraceEvent::FlowStalled { .. } => "flow_stalled",
+            TraceEvent::FlowAborted { .. } => "flow_aborted",
+            TraceEvent::FaultApplied { .. } => "fault_applied",
+            TraceEvent::InvariantViolation { .. } => "invariant_violation",
+        }
+    }
+
+    /// Simulation time of the event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::PktEnqueue { at, .. }
+            | TraceEvent::PktDequeue { at, .. }
+            | TraceEvent::PktDrop { at, .. }
+            | TraceEvent::EcnMark { at, .. }
+            | TraceEvent::CreditSent { at, .. }
+            | TraceEvent::CreditWasted { at, .. }
+            | TraceEvent::FeedbackUpdate { at, .. }
+            | TraceEvent::FlowStarted { at, .. }
+            | TraceEvent::FlowCompleted { at, .. }
+            | TraceEvent::FlowStalled { at, .. }
+            | TraceEvent::FlowAborted { at, .. }
+            | TraceEvent::FaultApplied { at, .. }
+            | TraceEvent::InvariantViolation { at, .. } => *at,
+        }
+    }
+
+    /// Render as a flat JSON object (`ev` = [`name`](TraceEvent::name),
+    /// `t_ps` = time, plus the variant's fields).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("ev", Json::str(self.name()))
+            .with("t_ps", Json::num_u64(self.at().as_ps()));
+        match self {
+            TraceEvent::PktEnqueue {
+                dlink,
+                class,
+                flow,
+                bytes,
+                qlen_bytes,
+                ..
+            } => {
+                j.set("dlink", Json::num_u64(*dlink as u64));
+                j.set("class", Json::str(class.name()));
+                j.set("flow", flow_json(*flow));
+                j.set("bytes", Json::num_u64(*bytes as u64));
+                j.set("qlen_bytes", Json::num_u64(*qlen_bytes));
+            }
+            TraceEvent::PktDequeue {
+                dlink,
+                class,
+                flow,
+                bytes,
+                ..
+            }
+            | TraceEvent::PktDrop {
+                dlink,
+                class,
+                flow,
+                bytes,
+                ..
+            } => {
+                j.set("dlink", Json::num_u64(*dlink as u64));
+                j.set("class", Json::str(class.name()));
+                j.set("flow", flow_json(*flow));
+                j.set("bytes", Json::num_u64(*bytes as u64));
+            }
+            TraceEvent::EcnMark {
+                dlink,
+                flow,
+                qlen_bytes,
+                ..
+            } => {
+                j.set("dlink", Json::num_u64(*dlink as u64));
+                j.set("flow", flow_json(*flow));
+                j.set("qlen_bytes", Json::num_u64(*qlen_bytes));
+            }
+            TraceEvent::CreditSent { flow, seq, .. } => {
+                j.set("flow", flow_json(*flow));
+                j.set("seq", Json::num_u64(*seq));
+            }
+            TraceEvent::CreditWasted { flow, .. } | TraceEvent::FlowAborted { flow, .. } => {
+                j.set("flow", flow_json(*flow));
+            }
+            TraceEvent::FeedbackUpdate {
+                flow,
+                loss,
+                w,
+                rate_cps,
+                ..
+            } => {
+                j.set("flow", flow_json(*flow));
+                j.set("loss", Json::Num(*loss));
+                j.set("w", Json::Num(*w));
+                j.set("rate_cps", Json::Num(*rate_cps));
+            }
+            TraceEvent::FlowStarted {
+                flow, size_bytes, ..
+            } => {
+                j.set("flow", flow_json(*flow));
+                j.set("size_bytes", Json::num_u64(*size_bytes));
+            }
+            TraceEvent::FlowCompleted { flow, fct_ps, .. } => {
+                j.set("flow", flow_json(*flow));
+                j.set("fct_ps", Json::num_u64(*fct_ps));
+            }
+            TraceEvent::FlowStalled { flow, stalled, .. } => {
+                j.set("flow", flow_json(*flow));
+                j.set("stalled", Json::Bool(*stalled));
+            }
+            TraceEvent::FaultApplied { desc, .. } => {
+                j.set("desc", Json::str(desc.clone()));
+            }
+            TraceEvent::InvariantViolation {
+                invariant,
+                dlink,
+                observed,
+                bound,
+                ..
+            } => {
+                j.set("invariant", Json::str(*invariant));
+                j.set("dlink", Json::num_u64(*dlink as u64));
+                j.set("observed", Json::num_u64(*observed));
+                j.set("bound", Json::num_u64(*bound));
+            }
+        }
+        j
+    }
+}
+
+fn flow_json(flow: u32) -> Json {
+    if flow == NO_FLOW {
+        Json::Null
+    } else {
+        Json::num_u64(flow as u64)
+    }
+}
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// Sinks must not influence the simulation: they observe events and may
+/// buffer or write them out, nothing more.
+pub trait TraceSink {
+    /// Record one event.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Flush any buffered output (no-op by default).
+    fn flush(&mut self) {}
+
+    /// Downcasting hook, so a concrete sink (and its buffered events) can
+    /// be recovered after the simulator hands back a boxed sink.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A bounded in-memory sink keeping the most recent events.
+///
+/// When the buffer is full the oldest event is discarded, so after a long
+/// run the ring holds the tail of the event stream — usually the part you
+/// want when diagnosing how a run ended.
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    total: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> RingSink {
+        RingSink {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            total: 0,
+        }
+    }
+
+    /// Events currently buffered, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events recorded over the sink's lifetime (including discarded).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Drain the buffered events, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev.clone());
+        self.total += 1;
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A sink writing one JSON object per line (JSONL) to any `io::Write`.
+///
+/// Output is buffered; call [`TraceSink::flush`] (the network does this at
+/// the end of a run) or drop the sink to push bytes out. Write errors are
+/// counted, not propagated — tracing must never abort a simulation.
+pub struct JsonlSink {
+    out: std::io::BufWriter<Box<dyn Write>>,
+    errors: u64,
+}
+
+impl JsonlSink {
+    /// Wrap an arbitrary writer.
+    pub fn new(out: Box<dyn Write>) -> JsonlSink {
+        JsonlSink {
+            out: std::io::BufWriter::new(out),
+            errors: 0,
+        }
+    }
+
+    /// Create (truncate) `path` and write JSONL to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<JsonlSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(f)))
+    }
+
+    /// Number of write errors swallowed so far.
+    pub fn write_errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let line = ev.to_json().to_string();
+        if writeln!(self.out, "{line}").is_err() {
+            self.errors += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.errors += 1;
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::FlowStarted {
+                at: SimTime(10),
+                flow: 0,
+                size_bytes: 1_000_000,
+            },
+            TraceEvent::CreditSent {
+                at: SimTime(20),
+                flow: 0,
+                seq: 1,
+            },
+            TraceEvent::PktEnqueue {
+                at: SimTime(30),
+                dlink: 4,
+                class: TraceClass::Data,
+                flow: 0,
+                bytes: 1538,
+                qlen_bytes: 1538,
+            },
+            TraceEvent::EcnMark {
+                at: SimTime(31),
+                dlink: 4,
+                flow: NO_FLOW,
+                qlen_bytes: 99_000,
+            },
+            TraceEvent::InvariantViolation {
+                at: SimTime(40),
+                invariant: "data_queue_bound",
+                dlink: 4,
+                observed: 700_000,
+                bound: 577_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let mut ring = RingSink::new(3);
+        for ev in sample_events() {
+            ring.record(&ev);
+        }
+        assert_eq!(ring.total_recorded(), 5);
+        assert_eq!(ring.len(), 3);
+        let names: Vec<_> = ring.events().map(|e| e.name()).collect();
+        assert_eq!(names, ["pkt_enqueue", "ecn_mark", "invariant_violation"]);
+    }
+
+    #[test]
+    fn events_render_as_parseable_json() {
+        for ev in sample_events() {
+            let text = ev.to_json().to_string();
+            let back = json::parse(&text).expect("event JSON must parse");
+            assert_eq!(back.get("ev").unwrap().as_str(), Some(ev.name()));
+            assert_eq!(
+                back.get("t_ps").unwrap().as_u64(),
+                Some(ev.at().as_ps()),
+                "t_ps round-trips"
+            );
+        }
+    }
+
+    #[test]
+    fn no_flow_renders_as_null() {
+        let ev = TraceEvent::EcnMark {
+            at: SimTime(1),
+            dlink: 2,
+            flow: NO_FLOW,
+            qlen_bytes: 10,
+        };
+        let j = ev.to_json();
+        assert_eq!(j.get("flow"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        struct Shared(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let mut sink = JsonlSink::new(Box::new(Shared(shared.clone())));
+            for ev in sample_events() {
+                sink.record(&ev);
+            }
+            sink.flush();
+            assert_eq!(sink.write_errors(), 0);
+        }
+        let text = String::from_utf8(shared.borrow().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in lines {
+            json::parse(line).expect("each line parses");
+        }
+    }
+}

@@ -9,7 +9,6 @@
 //!   shuffle (Fig 17), and the partition/aggregate request/response
 //!   application of Fig 1 (as a network controller running rounds).
 
-
 #![warn(missing_docs)]
 pub mod arrivals;
 pub mod dists;

@@ -219,11 +219,8 @@ mod tests {
             min: Dur::us(1),
             max: Dur::us(1),
         };
-        let mut net = xpass_net::network::Network::new(
-            topo,
-            cfg,
-            xpass_factory(XPassConfig::aggressive()),
-        );
+        let mut net =
+            xpass_net::network::Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
         let workers: Vec<HostId> = (1..9).map(HostId).collect();
         let app = PartitionAggregate::new(HostId(0), workers, 16, 3);
         start_partition_aggregate(&mut net, app);

@@ -13,7 +13,10 @@ use xpass::workloads::Workload;
 
 fn main() {
     println!("workload: Web Server (Table 2), 2000 flows, load 0.6, 10G links\n");
-    println!("{:<12} {:>12} {:>12} {:>12} {:>10}", "scheme", "S avg/p99", "M avg/p99", "L avg/p99", "drops");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>10}",
+        "scheme", "S avg/p99", "M avg/p99", "L avg/p99", "drops"
+    );
     for scheme in [
         Scheme::XPass(XPassConfig::default()),
         Scheme::Dctcp,

@@ -35,9 +35,16 @@ fn main() {
             fcts.add(r.fct.expect("all incast flows complete").as_secs_f64());
         }
         println!("== {} ==", scheme.name());
-        println!("  fct p50/p99/max : {:.2} / {:.2} / {:.2} ms",
-            fcts.median() * 1e3, fcts.p99() * 1e3, fcts.max() * 1e3);
+        println!(
+            "  fct p50/p99/max : {:.2} / {:.2} / {:.2} ms",
+            fcts.median() * 1e3,
+            fcts.p99() * 1e3,
+            fcts.max() * 1e3
+        );
         println!("  data drops      : {}", net.total_data_drops());
-        println!("  max switch queue: {:.1} KB", net.max_switch_queue_bytes() as f64 / 1e3);
+        println!(
+            "  max switch queue: {:.1} KB",
+            net.max_switch_queue_bytes() as f64 / 1e3
+        );
     }
 }

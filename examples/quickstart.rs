@@ -31,12 +31,23 @@ fn main() {
 
     assert!(net.flow_done(flow), "flow did not complete");
     let secs = done.as_secs_f64();
-    println!("transferred   : {:.1} MB in {:.3} ms", size as f64 / 1e6, secs * 1e3);
-    println!("goodput       : {:.2} Gbps (ceiling ≈ 9.00)", size as f64 * 8.0 / secs / 1e9);
+    println!(
+        "transferred   : {:.1} MB in {:.3} ms",
+        size as f64 / 1e6,
+        secs * 1e3
+    );
+    println!(
+        "goodput       : {:.2} Gbps (ceiling ≈ 9.00)",
+        size as f64 * 8.0 / secs / 1e9
+    );
     println!("data drops    : {}", net.total_data_drops());
     println!("credits sent  : {}", net.counters().credits_sent);
-    println!("credits shed  : {} (the congestion signal)", net.counters().credits_dropped);
-    println!("max data queue: {} bytes (≈ {} packets)",
+    println!(
+        "credits shed  : {} (the congestion signal)",
+        net.counters().credits_dropped
+    );
+    println!(
+        "max data queue: {} bytes (≈ {} packets)",
         net.max_switch_queue_bytes(),
         net.max_switch_queue_bytes() / 1538
     );

@@ -1,20 +1,71 @@
 //! `xpass-repro` — run any paper experiment from the command line.
 //!
 //! ```text
-//! xpass-repro list                 # show available experiments
-//! xpass-repro fig16                # run one experiment, print its table
-//! xpass-repro all                  # run everything
-//! xpass-repro fig17 --paper-scale  # use the paper's full parameters
+//! xpass-repro list                    # show available experiments
+//! xpass-repro fig16                   # run one experiment, print its table
+//! xpass-repro all                     # run everything
+//! xpass-repro fig17 --paper-scale     # use the paper's full parameters
+//! xpass-repro fig19 --seed 7          # override the experiment RNG seed
+//! xpass-repro fig19 --json out/       # also write out/fig19.json
+//! xpass-repro fig19 --trace t.jsonl   # record a structured event trace
 //! ```
+//!
+//! `--json <dir>` writes one machine-readable record per experiment to
+//! `<dir>/<name>.json`, shaped `{schema, experiment, paper_scale, seed,
+//! payload}`. Experiments with structured output (fig19) emit it as the
+//! payload; the rest embed their text table as `{"text": ...}`.
+//!
+//! `--trace <file>` streams trace events as JSON Lines from experiments
+//! that support tracing (currently fig19).
 
 use std::env;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use xpass::experiments as ex;
+use xpass::sim::json::Json;
+use xpass::sim::trace::{JsonlSink, TraceSink};
+
+/// Options shared by every experiment runner.
+struct RunOpts {
+    /// Use the paper's full-scale parameters.
+    paper_scale: bool,
+    /// RNG seed override (experiments keep their defaults when `None`).
+    seed: Option<u64>,
+    /// JSONL trace destination, for experiments that support tracing.
+    trace: Option<PathBuf>,
+}
+
+/// What one experiment produced: the human text table, plus a structured
+/// payload for `--json` when the experiment has one.
+struct RunOutput {
+    text: String,
+    payload: Option<Json>,
+}
+
+fn text_only(s: String) -> RunOutput {
+    RunOutput {
+        text: s,
+        payload: None,
+    }
+}
 
 struct Experiment {
     name: &'static str,
     what: &'static str,
-    run: fn(paper_scale: bool) -> String,
+    /// True when the experiment records `--trace` events.
+    traces: bool,
+    run: fn(&RunOpts) -> RunOutput,
+}
+
+/// `cfg.seed = s` for every config that has a seed, without a trait.
+macro_rules! seeded {
+    ($opts:expr, $cfg:expr) => {{
+        let mut cfg = $cfg;
+        if let Some(s) = $opts.seed {
+            cfg.seed = s;
+        }
+        cfg
+    }};
 }
 
 fn experiments() -> Vec<Experiment> {
@@ -22,176 +73,369 @@ fn experiments() -> Vec<Experiment> {
         Experiment {
             name: "fig01",
             what: "queue build-up under partition/aggregate",
-            run: |ps| {
-                let cfg = if ps {
+            traces: false,
+            run: |o| {
+                let cfg = if o.paper_scale {
                     ex::fig01_queue_buildup::Config::paper_scale()
                 } else {
                     ex::fig01_queue_buildup::Config::default()
                 };
-                ex::fig01_queue_buildup::run(&cfg).to_string()
+                let cfg = seeded!(o, cfg);
+                text_only(ex::fig01_queue_buildup::run(&cfg).to_string())
             },
         },
         Experiment {
             name: "fig02",
             what: "naive credit vs CUBIC vs DCTCP convergence",
-            run: |_| ex::fig02_naive_convergence::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig02_naive_convergence::Config::default());
+                text_only(ex::fig02_naive_convergence::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "table1",
             what: "network-calculus buffer bounds",
-            run: |_| ex::table1_buffer_bounds::run().to_string(),
+            traces: false,
+            run: |_| text_only(ex::table1_buffer_bounds::run().to_string()),
         },
         Experiment {
             name: "fig05",
             what: "ToR buffer requirement vs link speed",
-            run: |_| ex::fig05_buffer_breakdown::run().to_string(),
+            traces: false,
+            run: |_| text_only(ex::fig05_buffer_breakdown::run().to_string()),
         },
         Experiment {
             name: "fig06",
             what: "pacing jitter vs credit-drop fairness",
-            run: |_| ex::fig06_jitter_fairness::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig06_jitter_fairness::Config::default());
+                text_only(ex::fig06_jitter_fairness::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig08",
             what: "initial-rate trade-off",
-            run: |_| ex::fig08_init_rate_tradeoff::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig08_init_rate_tradeoff::Config::default());
+                text_only(ex::fig08_init_rate_tradeoff::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig09",
             what: "credit queue capacity vs utilization",
-            run: |_| ex::fig09_credit_queue_capacity::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig09_credit_queue_capacity::Config::default());
+                text_only(ex::fig09_credit_queue_capacity::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig10",
             what: "parking-lot utilization",
-            run: |_| ex::fig10_parking_lot::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig10_parking_lot::Config::default());
+                text_only(ex::fig10_parking_lot::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig11",
             what: "multi-bottleneck fairness",
-            run: |_| ex::fig11_multi_bottleneck::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig11_multi_bottleneck::Config::default());
+                text_only(ex::fig11_multi_bottleneck::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig12",
             what: "steady-state feedback model",
-            run: |_| ex::fig12_steady_state::run(&Default::default()).to_string(),
+            traces: false,
+            run: |_| text_only(ex::fig12_steady_state::run(&Default::default()).to_string()),
         },
         Experiment {
             name: "fig13",
             what: "five staggered flows trace",
-            run: |_| {
-                let (a, b) = ex::fig13_convergence_trace::run_both(&Default::default());
-                format!("{a}\n{b}")
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig13_convergence_trace::Config::default());
+                let (a, b) = ex::fig13_convergence_trace::run_both(&cfg);
+                text_only(format!("{a}\n{b}"))
             },
         },
         Experiment {
             name: "fig14",
             what: "host model distributions",
-            run: |_| ex::fig14_host_model::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig14_host_model::Config::default());
+                text_only(ex::fig14_host_model::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig15",
             what: "flow scalability",
-            run: |_| ex::fig15_flow_scalability::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig15_flow_scalability::Config::default());
+                text_only(ex::fig15_flow_scalability::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig16",
             what: "convergence time at 10G/100G",
-            run: |_| ex::fig16_convergence::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig16_convergence::Config::default());
+                text_only(ex::fig16_convergence::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig17",
             what: "MapReduce shuffle FCTs",
-            run: |ps| {
-                let cfg = if ps {
+            traces: false,
+            run: |o| {
+                let cfg = if o.paper_scale {
                     ex::fig17_shuffle::Config::paper_scale()
                 } else {
                     ex::fig17_shuffle::Config::default()
                 };
-                ex::fig17_shuffle::run(&cfg).to_string()
+                let cfg = seeded!(o, cfg);
+                text_only(ex::fig17_shuffle::run(&cfg).to_string())
             },
         },
         Experiment {
             name: "fig18",
             what: "(alpha, w_init) sensitivity",
-            run: |_| ex::fig18_param_sensitivity::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig18_param_sensitivity::Config::default());
+                text_only(ex::fig18_param_sensitivity::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig19",
             what: "realistic-workload FCTs",
-            run: |ps| {
-                let cfg = if ps {
+            traces: true,
+            run: |o| {
+                let cfg = if o.paper_scale {
                     ex::fig19_fct::Config::paper_scale()
                 } else {
                     ex::fig19_fct::Config::default()
                 };
-                ex::fig19_fct::run(&cfg).to_string()
+                let cfg = seeded!(o, cfg);
+                let sink = open_trace(o.trace.as_deref());
+                let (r, sink) = ex::fig19_fct::run_traced(&cfg, sink);
+                drop(sink); // flush
+                RunOutput {
+                    text: r.to_string(),
+                    payload: Some(r.to_json()),
+                }
             },
         },
         Experiment {
             name: "fig20",
             what: "credit waste ratio",
-            run: |_| ex::fig20_credit_waste::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig20_credit_waste::Config::default());
+                text_only(ex::fig20_credit_waste::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "fig21",
             what: "40G-over-10G FCT speed-up",
-            run: |_| ex::fig21_speedup::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fig21_speedup::Config::default());
+                text_only(ex::fig21_speedup::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "table3",
             what: "queue occupancy",
-            run: |ps| {
-                let cfg = if ps {
+            traces: false,
+            run: |o| {
+                let cfg = if o.paper_scale {
                     ex::table3_queue::Config::paper_scale()
                 } else {
                     ex::table3_queue::Config::default()
                 };
-                ex::table3_queue::run(&cfg).to_string()
+                let cfg = seeded!(o, cfg);
+                text_only(ex::table3_queue::run(&cfg).to_string())
             },
         },
         Experiment {
             name: "ablations",
             what: "design-choice ablations",
-            run: |_| ex::ablations::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::ablations::Config::default());
+                text_only(ex::ablations::run(&cfg).to_string())
+            },
         },
         Experiment {
             name: "faults",
             what: "fault injection: re-convergence after failures",
-            run: |_| ex::fault_recovery::run(&Default::default()).to_string(),
+            traces: false,
+            run: |o| {
+                let cfg = seeded!(o, ex::fault_recovery::Config::default());
+                text_only(ex::fault_recovery::run(&cfg).to_string())
+            },
         },
     ]
 }
 
+/// Open the `--trace` destination as a boxed sink (or `None`).
+fn open_trace(path: Option<&Path>) -> Option<Box<dyn TraceSink>> {
+    let path = path?;
+    match JsonlSink::create(path) {
+        Ok(sink) => Some(Box::new(sink)),
+        Err(e) => {
+            eprintln!(
+                "xpass-repro: cannot open trace file {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+fn usage(exps: &[Experiment]) -> String {
+    let mut s = String::from(
+        "usage: xpass-repro <experiment|all|list> [--paper-scale] [--seed <u64>]\n\
+         \x20                 [--json <dir>] [--trace <file>]\n\nexperiments:\n",
+    );
+    for e in exps {
+        s.push_str(&format!("  {:<10} {}\n", e.name, e.what));
+    }
+    s
+}
+
+/// Write `<dir>/<name>.json`: the experiment's machine-readable record.
+fn write_json_record(
+    dir: &Path,
+    e: &Experiment,
+    opts: &RunOpts,
+    out: &RunOutput,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let payload = match &out.payload {
+        Some(p) => p.clone(),
+        None => Json::obj().with("text", Json::str(&out.text)),
+    };
+    let record = Json::obj()
+        .with("schema", Json::str("xpass-repro/v1"))
+        .with("experiment", Json::str(e.name))
+        .with("paper_scale", Json::Bool(opts.paper_scale))
+        .with(
+            "seed",
+            match opts.seed {
+                Some(s) => Json::num_u64(s),
+                None => Json::Null,
+            },
+        )
+        .with("payload", payload);
+    let path = dir.join(format!("{}.json", e.name));
+    std::fs::write(&path, format!("{record}\n"))?;
+    Ok(path)
+}
+
+fn run_one(e: &Experiment, opts: &RunOpts, json_dir: Option<&Path>) -> bool {
+    if opts.trace.is_some() && !e.traces {
+        eprintln!(
+            "xpass-repro: note: {} does not record traces; --trace ignored",
+            e.name
+        );
+    }
+    let out = (e.run)(opts);
+    println!("{}", out.text);
+    if let Some(dir) = json_dir {
+        match write_json_record(dir, e, opts, &out) {
+            Ok(path) => eprintln!("xpass-repro: wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("xpass-repro: cannot write JSON record: {err}");
+                return false;
+            }
+        }
+    }
+    true
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let paper_scale = args.iter().any(|a| a == "--paper-scale");
-    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let exps = experiments();
+    let mut args = env::args().skip(1);
+    let mut opts = RunOpts {
+        paper_scale: false,
+        seed: None,
+        trace: None,
+    };
+    let mut json_dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--paper-scale" => opts.paper_scale = true,
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => opts.seed = Some(s),
+                None => {
+                    eprintln!("xpass-repro: --seed needs an unsigned integer\n");
+                    eprint!("{}", usage(&exps));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match args.next() {
+                Some(d) => json_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("xpass-repro: --json needs an output directory\n");
+                    eprint!("{}", usage(&exps));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match args.next() {
+                Some(f) => opts.trace = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("xpass-repro: --trace needs an output file\n");
+                    eprint!("{}", usage(&exps));
+                    return ExitCode::FAILURE;
+                }
+            },
+            f if f.starts_with("--") => {
+                eprintln!("xpass-repro: unknown flag '{f}'\n");
+                eprint!("{}", usage(&exps));
+                return ExitCode::FAILURE;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
 
     match targets.first().map(|s| s.as_str()) {
         None | Some("list") | Some("help") => {
-            println!("usage: xpass-repro <experiment|all> [--paper-scale]\n");
-            println!("experiments:");
-            for e in &exps {
-                println!("  {:<10} {}", e.name, e.what);
-            }
+            print!("{}", usage(&exps));
             ExitCode::SUCCESS
         }
         Some("all") => {
             for e in &exps {
                 println!("==== {} — {} ====", e.name, e.what);
-                println!("{}\n", (e.run)(paper_scale));
+                if !run_one(e, &opts, json_dir.as_deref()) {
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }
         Some(name) => match exps.iter().find(|e| e.name == name) {
             Some(e) => {
-                println!("{}", (e.run)(paper_scale));
-                ExitCode::SUCCESS
+                if run_one(e, &opts, json_dir.as_deref()) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
             }
             None => {
-                eprintln!("unknown experiment '{name}'; try `xpass-repro list`");
+                eprintln!("xpass-repro: unknown experiment '{name}'\n");
+                eprint!("{}", usage(&exps));
                 ExitCode::FAILURE
             }
         },

@@ -12,7 +12,6 @@
 //! * [`workloads`] — realistic flow-size distributions and traffic patterns.
 //! * [`experiments`] — one harness per paper table/figure.
 
-
 #![warn(missing_docs)]
 pub use expresspass;
 pub use xpass_baselines as baselines;

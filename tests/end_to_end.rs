@@ -80,7 +80,10 @@ fn window_schemes_drop_but_recover_under_incast() {
     }
     net.run_until_done(SimTime::ZERO + Dur::secs(2));
     assert_eq!(net.completed_count(), 24);
-    assert!(net.total_data_drops() > 0, "expected incast drops for DCTCP");
+    assert!(
+        net.total_data_drops() > 0,
+        "expected incast drops for DCTCP"
+    );
 }
 
 #[test]
@@ -146,7 +149,11 @@ fn deterministic_given_seed() {
             .iter()
             .map(|r| r.fct.unwrap().as_ps())
             .collect();
-        (fcts, net.counters().credits_sent, net.counters().credits_dropped)
+        (
+            fcts,
+            net.counters().credits_sent,
+            net.counters().credits_dropped,
+        )
     };
     let a = run(77);
     let b = run(77);

@@ -77,7 +77,11 @@ fn packet_spray_completes_with_bounded_queues() {
     }
     net.run_until_done(SimTime::ZERO + Dur::secs(2));
     assert_eq!(net.completed_count(), 8);
-    assert_eq!(net.total_data_drops(), 0, "spraying must not cause data loss");
+    assert_eq!(
+        net.total_data_drops(),
+        0,
+        "spraying must not cause data loss"
+    );
     assert!(
         net.max_switch_queue_bytes() < 30_000,
         "queue {} under spraying",
@@ -229,10 +233,7 @@ fn link_failure_reroutes_and_preserves_symmetry() {
     use xpass::net::ids::SwitchId;
     let topo = Topology::fat_tree(4, G10, G10, Dur::us(2));
     // ToR 0 (switch 0) to its first agg (aggs start at k*half = 8).
-    let failed = topo.without_cable(
-        NodeId::Switch(SwitchId(0)),
-        NodeId::Switch(SwitchId(8)),
-    );
+    let failed = topo.without_cable(NodeId::Switch(SwitchId(0)), NodeId::Switch(SwitchId(8)));
     // ToR 0 now has a single uplink toward remote pods.
     assert_eq!(failed.routes[0][failed.n_hosts - 1].len(), 1);
     let cfg = NetConfig::expresspass().with_seed(61);
@@ -242,15 +243,16 @@ fn link_failure_reroutes_and_preserves_symmetry() {
     }
     net.run_until_done(SimTime::ZERO + Dur::secs(2));
     assert_eq!(net.completed_count(), 4);
-    assert_eq!(net.total_data_drops(), 0, "rerouted flows must stay lossless");
+    assert_eq!(
+        net.total_data_drops(),
+        0,
+        "rerouted flows must stay lossless"
+    );
 }
 
 #[test]
 #[should_panic(expected = "no cable")]
 fn removing_missing_cable_panics() {
     let topo = Topology::dumbbell(1, G10, Dur::us(1));
-    let _ = topo.without_cable(
-        NodeId::Host(HostId(0)),
-        NodeId::Host(HostId(1)),
-    );
+    let _ = topo.without_cable(NodeId::Host(HostId(0)), NodeId::Host(HostId(1)));
 }

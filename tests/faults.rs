@@ -96,7 +96,11 @@ fn credit_only_disturbance_never_drops_data() {
             .set_loss(SimTime::ZERO + Dur::ms(6), rev, 0.0, 0.0),
     );
     net.run_until_done(SimTime::ZERO + Dur::secs(2));
-    assert_eq!(net.completed_count(), 4, "flows must survive a credit storm");
+    assert_eq!(
+        net.completed_count(),
+        4,
+        "flows must survive a credit storm"
+    );
     assert_eq!(
         net.total_data_drops(),
         0,
@@ -162,7 +166,10 @@ fn syn_blackhole_aborts_after_bounded_retries() {
     let settled = net.run_until_done(SimTime::ZERO + Dur::secs(30));
     // run_until_done terminates because the abort settles the flow — well
     // before the cap (8 attempts with backoff capped at 10ms ≈ 65ms).
-    assert!(settled < SimTime::ZERO + Dur::secs(1), "settled at {settled}");
+    assert!(
+        settled < SimTime::ZERO + Dur::secs(1),
+        "settled at {settled}"
+    );
     assert!(net.flow_aborted(f));
     assert!(!net.flow_done(f));
     assert_eq!(net.aborted_count(), 1);
