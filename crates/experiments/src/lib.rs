@@ -53,6 +53,7 @@ pub mod fig19_fct;
 pub mod fig20_credit_waste;
 pub mod fig21_speedup;
 pub mod harness;
+pub mod parallel;
 pub mod table1_buffer_bounds;
 pub mod table3_queue;
 

@@ -497,6 +497,8 @@ impl Network {
             peak_queue_len: self.events.peak_len(),
             wall_secs: self.wall_secs,
             sim_secs: self.now.as_secs_f64(),
+            scheduler: self.events.scheduler().name(),
+            bucket_bits: self.events.bucket_bits(),
         }
     }
 
@@ -530,11 +532,7 @@ impl Network {
     /// Process events until (and including) time `t`; leaves `now == t`.
     pub fn run_until(&mut self, t: SimTime) {
         let wall = std::time::Instant::now();
-        while let Some(et) = self.events.peek_time() {
-            if et > t {
-                break;
-            }
-            let (et, ev) = self.events.pop().unwrap();
+        while let Some((et, ev)) = self.events.pop_before(t) {
             self.now = et;
             self.handle(ev);
         }

@@ -1,22 +1,119 @@
 //! The event queue at the heart of the discrete-event engine.
 //!
-//! A binary heap keyed on `(time, seq)` where `seq` is a monotonically
-//! increasing insertion counter: events scheduled for the same instant fire
-//! in the order they were scheduled, which makes runs deterministic and
-//! debugging sane.
+//! Two interchangeable schedulers live behind one API, both totally
+//! ordered on `(time, seq)` where `seq` is a monotonically increasing
+//! insertion counter — events scheduled for the same instant fire in the
+//! order they were scheduled, which makes runs deterministic and debugging
+//! sane:
+//!
+//! * [`SchedulerKind::Heap`] — the reference `BinaryHeap` (the seed
+//!   implementation, kept as the differential-testing oracle).
+//! * [`SchedulerKind::Calendar`] — the fast path: a hierarchical calendar
+//!   queue ([`crate::calendar`]) with O(1) amortized insert/pop for the
+//!   near-future band.
+//!
+//! The two produce *identical* pop sequences for any push/pop sequence;
+//! `tests/scheduler_diff.rs` (workspace root) and the property suite in
+//! `crates/sim/tests` pin that equivalence, so the calendar queue is
+//! unobservable except in wall-clock time.
+//!
+//! Timers pushed via [`EventQueue::push_cancellable`] can be revoked with
+//! [`EventQueue::cancel`]; cancelled entries never fire and are skipped
+//! (and reclaimed) on pop. Queues start at a caller-controlled capacity
+//! ([`EventQueue::with_capacity`]) and release excess memory whenever they
+//! drain completely, so a burst does not pin its peak allocation forever.
 
+use crate::calendar::CalendarQueue;
 use crate::time::SimTime;
+use std::cell::Cell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Which scheduler implementation an [`EventQueue`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// Reference binary heap keyed on `(time, seq)`.
+    Heap,
+    /// Calendar queue / timing wheel with an overflow band (the default).
+    #[default]
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// Parse a command-line name (`"heap"` / `"calendar"`).
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s {
+            "heap" => Some(SchedulerKind::Heap),
+            "calendar" => Some(SchedulerKind::Calendar),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (inverse of [`parse`](Self::parse)).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_SCHEDULER: Cell<SchedulerKind> = const { Cell::new(SchedulerKind::Calendar) };
+}
+
+/// Set the scheduler that [`EventQueue::new`] uses **on this thread**.
+///
+/// Scheduler choice is thread-scoped so concurrent experiment runs (the
+/// parallel harness) and concurrent tests cannot race on a process global;
+/// the parallel runner propagates the requested kind into each worker.
+pub fn set_thread_scheduler(kind: SchedulerKind) {
+    THREAD_SCHEDULER.with(|c| c.set(kind));
+}
+
+/// The scheduler [`EventQueue::new`] will use on this thread.
+pub fn thread_scheduler() -> SchedulerKind {
+    THREAD_SCHEDULER.with(|c| c.get())
+}
+
+/// Handle to a cancellable timer returned by
+/// [`EventQueue::push_cancellable`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerHandle(u64);
+
+/// Default initial capacity (the seed's former hard-coded value).
+pub const DEFAULT_CAPACITY: usize = 1024;
 
 /// A time-ordered queue of events of type `E`.
 ///
 /// `E` needs no trait bounds; ordering is entirely on `(time, seq)`.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    imp: Impl<E>,
     seq: u64,
     popped: u64,
     peak: usize,
+    /// Entries currently queued (including cancelled tombstones), cached
+    /// so the hot push/pop paths never re-derive it through the scheduler.
+    raw: usize,
+    initial_cap: usize,
+    /// True once the queue outgrew its initial capacity; armed by `push`,
+    /// consumed by the post-drain shrink so the empty-queue check is O(1).
+    needs_shrink: bool,
+    /// Seqs of live cancellable timers (empty unless the feature is used,
+    /// so plain `push`/`pop` traffic never touches a hash set).
+    cancellable: HashSet<u64>,
+    /// Seqs cancelled while still queued; skipped and reclaimed on pop.
+    cancelled: HashSet<u64>,
+}
+
+// The calendar's inline header (bitmap + cursors) is ~700 bytes, but there
+// is exactly one `EventQueue` per engine and every push/pop goes through
+// it — boxing the variant would trade a few hundred one-off bytes for a
+// pointer chase on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum Impl<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Calendar(CalendarQueue<E>),
 }
 
 struct Entry<E> {
@@ -48,55 +145,207 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty queue using this thread's default scheduler
+    /// ([`set_thread_scheduler`]).
     pub fn new() -> EventQueue<E> {
+        Self::with_scheduler(thread_scheduler())
+    }
+
+    /// Create an empty queue with an explicit scheduler.
+    pub fn with_scheduler(kind: SchedulerKind) -> EventQueue<E> {
+        Self::with_capacity(kind, DEFAULT_CAPACITY)
+    }
+
+    /// Create an empty queue with an explicit scheduler and initial
+    /// capacity (also the floor the queue shrinks back to after a drain).
+    pub fn with_capacity(kind: SchedulerKind, cap: usize) -> EventQueue<E> {
+        let imp = match kind {
+            SchedulerKind::Heap => Impl::Heap(BinaryHeap::with_capacity(cap)),
+            SchedulerKind::Calendar => Impl::Calendar(CalendarQueue::with_capacity(cap)),
+        };
         EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
+            imp,
             seq: 0,
             popped: 0,
             peak: 0,
+            raw: 0,
+            initial_cap: cap,
+            needs_shrink: false,
+            cancellable: HashSet::new(),
+            cancelled: HashSet::new(),
         }
+    }
+
+    /// Which scheduler this queue runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.imp {
+            Impl::Heap(_) => SchedulerKind::Heap,
+            Impl::Calendar(_) => SchedulerKind::Calendar,
+        }
+    }
+
+    #[inline]
+    fn push_inner(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        match &mut self.imp {
+            Impl::Heap(h) => h.push(Entry {
+                key: Reverse((at, seq)),
+                event,
+            }),
+            Impl::Calendar(c) => c.push(at, seq, event),
+        }
+        self.raw += 1;
+        let live = self.raw - self.cancelled.len();
+        if live > self.peak {
+            self.peak = live;
+        }
+        if live > self.initial_cap {
+            self.needs_shrink = true;
+        }
+        seq
     }
 
     /// Schedule `event` to fire at absolute time `at`.
     #[inline]
     pub fn push(&mut self, at: SimTime, event: E) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry {
-            key: Reverse((at, seq)),
-            event,
-        });
-        if self.heap.len() > self.peak {
-            self.peak = self.heap.len();
+        self.push_inner(at, event);
+    }
+
+    /// Schedule a cancellable timer; the handle revokes it via
+    /// [`cancel`](Self::cancel) any time before it fires.
+    pub fn push_cancellable(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let seq = self.push_inner(at, event);
+        self.cancellable.insert(seq);
+        TimerHandle(seq)
+    }
+
+    /// Cancel a pending timer. Returns `true` if it was still queued (it
+    /// will never fire); `false` if it already fired or was cancelled.
+    pub fn cancel(&mut self, h: TimerHandle) -> bool {
+        if self.cancellable.remove(&h.0) {
+            self.cancelled.insert(h.0);
+            true
+        } else {
+            false
         }
     }
 
-    /// Pop the earliest event, returning `(time, event)`.
+    #[inline]
+    fn pop_raw(&mut self) -> Option<(SimTime, u64, E)> {
+        let out = match &mut self.imp {
+            Impl::Heap(h) => h.pop().map(|e| (e.key.0 .0, e.key.0 .1, e.event)),
+            Impl::Calendar(c) => c.pop(),
+        };
+        if out.is_some() {
+            self.raw -= 1;
+        }
+        out
+    }
+
+    /// Pop the earliest live event, returning `(time, event)`. Cancelled
+    /// timers are skipped (and never counted as processed).
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| {
+        loop {
+            let (at, seq, event) = self.pop_raw()?;
+            if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
+                continue;
+            }
+            if !self.cancellable.is_empty() {
+                self.cancellable.remove(&seq);
+            }
             self.popped += 1;
-            (e.key.0 .0, e.event)
-        })
+            if self.needs_shrink && self.raw == 0 {
+                self.shrink_after_drain();
+                self.needs_shrink = false;
+            }
+            return Some((at, event));
+        }
     }
 
-    /// Timestamp of the next event without removing it.
+    /// Pop the earliest live event if it fires at or before `t` — the
+    /// engine's fused peek-then-pop fast path: one scheduler settle and
+    /// one tombstone pass per event instead of two of each.
     #[inline]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.key.0 .0)
+    pub fn pop_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        if self.cancelled.is_empty() && self.cancellable.is_empty() {
+            // No timer tombstones in play (the common engine state): one
+            // fused scheduler call, no hash-set traffic at all.
+            let (at, _seq, event) = match &mut self.imp {
+                Impl::Heap(h) => {
+                    if h.peek()?.key.0 .0 > t {
+                        return None;
+                    }
+                    let e = h.pop().expect("peeked entry vanished");
+                    (e.key.0 .0, e.key.0 .1, e.event)
+                }
+                Impl::Calendar(c) => c.pop_if_le(t)?,
+            };
+            self.raw -= 1;
+            self.popped += 1;
+            if self.needs_shrink && self.raw == 0 {
+                self.shrink_after_drain();
+                self.needs_shrink = false;
+            }
+            return Some((at, event));
+        }
+        loop {
+            let key = match &mut self.imp {
+                Impl::Heap(h) => h.peek().map(|e| e.key.0),
+                Impl::Calendar(c) => c.peek_key(),
+            };
+            let (at, seq) = key?;
+            if !self.cancelled.is_empty() && self.cancelled.contains(&seq) {
+                self.cancelled.remove(&seq);
+                self.pop_raw();
+                continue;
+            }
+            if at > t {
+                return None;
+            }
+            let (at, seq, event) = self.pop_raw().expect("peeked entry vanished");
+            if !self.cancellable.is_empty() {
+                self.cancellable.remove(&seq);
+            }
+            self.popped += 1;
+            if self.needs_shrink && self.raw == 0 {
+                self.shrink_after_drain();
+                self.needs_shrink = false;
+            }
+            return Some((at, event));
+        }
     }
 
-    /// Number of events currently queued.
+    /// Timestamp of the next live event without removing it.
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Skim off cancelled entries so the reported time is a live event's.
+        loop {
+            let key = match &mut self.imp {
+                Impl::Heap(h) => h.peek().map(|e| e.key.0),
+                Impl::Calendar(c) => c.peek_key(),
+            };
+            let (at, seq) = key?;
+            if !self.cancelled.is_empty() && self.cancelled.contains(&seq) {
+                self.cancelled.remove(&seq);
+                self.pop_raw();
+                continue;
+            }
+            return Some(at);
+        }
+    }
+
+    /// Number of live (non-cancelled) events currently queued.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.raw - self.cancelled.len()
     }
 
-    /// True when no events remain.
+    /// True when no live events remain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events processed so far (for perf reporting).
@@ -110,6 +359,36 @@ impl<E> EventQueue<E> {
     pub fn peak_len(&self) -> usize {
         self.peak
     }
+
+    /// The calendar scheduler's current adaptive bucket width (log2 ps);
+    /// `None` on the heap scheduler. A perf-diagnostic stat.
+    pub fn bucket_bits(&self) -> Option<u32> {
+        match &self.imp {
+            Impl::Heap(_) => None,
+            Impl::Calendar(c) => Some(c.bucket_bits()),
+        }
+    }
+
+    /// Allocated entry slots (heap capacity, or the calendar's staging +
+    /// overflow + bucket slots).
+    pub fn capacity(&self) -> usize {
+        match &self.imp {
+            Impl::Heap(h) => h.capacity(),
+            Impl::Calendar(c) => c.capacity(),
+        }
+    }
+
+    /// Release memory accumulated during a burst, back down to the initial
+    /// capacity. Called automatically whenever the queue drains; safe (and
+    /// cheap) to call at any time — it never affects event order.
+    pub fn shrink_after_drain(&mut self) {
+        match &mut self.imp {
+            Impl::Heap(h) => h.shrink_to(self.initial_cap),
+            Impl::Calendar(c) => c.shrink_to(self.initial_cap),
+        }
+        self.cancelled.shrink_to_fit();
+        self.cancellable.shrink_to_fit();
+    }
 }
 
 #[cfg(test)]
@@ -117,78 +396,153 @@ mod tests {
     use super::*;
     use crate::time::Dur;
 
+    fn both() -> [EventQueue<u64>; 2] {
+        [
+            EventQueue::with_scheduler(SchedulerKind::Heap),
+            EventQueue::with_scheduler(SchedulerKind::Calendar),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::ZERO + Dur::us(3), "c");
-        q.push(SimTime::ZERO + Dur::us(1), "a");
-        q.push(SimTime::ZERO + Dur::us(2), "b");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert_eq!(q.pop().unwrap().1, "c");
-        assert!(q.pop().is_none());
+        for mut q in both() {
+            q.push(SimTime::ZERO + Dur::us(3), 3);
+            q.push(SimTime::ZERO + Dur::us(1), 1);
+            q.push(SimTime::ZERO + Dur::us(2), 2);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 3);
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]
     fn fifo_within_same_timestamp() {
-        let mut q = EventQueue::new();
-        let t = SimTime::ZERO + Dur::us(5);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            let (at, v) = q.pop().unwrap();
-            assert_eq!(at, t);
-            assert_eq!(v, i);
+        for mut q in both() {
+            let t = SimTime::ZERO + Dur::us(5);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                let (at, v) = q.pop().unwrap();
+                assert_eq!(at, t);
+                assert_eq!(v, i);
+            }
         }
     }
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.push(SimTime(10), ());
-        assert_eq!(q.peek_time(), Some(SimTime(10)));
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert_eq!(q.peek_time(), None);
-        assert!(q.is_empty());
+        for mut q in both() {
+            q.push(SimTime(10), 0);
+            assert_eq!(q.peek_time(), Some(SimTime(10)));
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert_eq!(q.peek_time(), None);
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn counts_processed() {
-        let mut q = EventQueue::new();
-        for i in 0..10u64 {
-            q.push(SimTime(i), i);
+        for mut q in both() {
+            for i in 0..10u64 {
+                q.push(SimTime(i), i);
+            }
+            while q.pop().is_some() {}
+            assert_eq!(q.events_processed(), 10);
         }
-        while q.pop().is_some() {}
-        assert_eq!(q.events_processed(), 10);
     }
 
     #[test]
     fn tracks_peak_depth() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peak_len(), 0);
-        q.push(SimTime(1), ());
-        q.push(SimTime(2), ());
-        q.push(SimTime(3), ());
-        q.pop();
-        q.pop();
-        q.push(SimTime(4), ());
-        assert_eq!(q.peak_len(), 3, "peak survives drains");
+        for mut q in both() {
+            assert_eq!(q.peak_len(), 0);
+            q.push(SimTime(1), 0);
+            q.push(SimTime(2), 0);
+            q.push(SimTime(3), 0);
+            q.pop();
+            q.pop();
+            q.push(SimTime(4), 0);
+            assert_eq!(q.peak_len(), 3, "peak survives drains");
+        }
     }
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        q.push(SimTime(5), 5u64);
-        q.push(SimTime(1), 1);
-        assert_eq!(q.pop().unwrap().0, SimTime(1));
-        q.push(SimTime(3), 3);
-        q.push(SimTime(2), 2);
-        let mut last = SimTime::ZERO;
-        while let Some((t, _)) = q.pop() {
-            assert!(t >= last);
-            last = t;
+        for mut q in both() {
+            q.push(SimTime(5), 5u64);
+            q.push(SimTime(1), 1);
+            assert_eq!(q.pop().unwrap().0, SimTime(1));
+            q.push(SimTime(3), 3);
+            q.push(SimTime(2), 2);
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+            }
         }
+    }
+
+    #[test]
+    fn thread_scheduler_is_scoped() {
+        assert_eq!(thread_scheduler(), SchedulerKind::Calendar);
+        set_thread_scheduler(SchedulerKind::Heap);
+        assert_eq!(EventQueue::<()>::new().scheduler(), SchedulerKind::Heap);
+        let other = std::thread::spawn(|| EventQueue::<()>::new().scheduler())
+            .join()
+            .unwrap();
+        assert_eq!(other, SchedulerKind::Calendar, "override is per-thread");
+        set_thread_scheduler(SchedulerKind::Calendar);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        for mut q in both() {
+            q.push(SimTime(1), 1);
+            let h = q.push_cancellable(SimTime(2), 2);
+            q.push(SimTime(3), 3);
+            assert_eq!(q.len(), 3);
+            assert!(q.cancel(h));
+            assert!(!q.cancel(h), "double cancel is a no-op");
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.peek_time(), Some(SimTime(3)), "peek skips cancelled");
+            assert_eq!(q.pop().unwrap().1, 3);
+            assert!(q.pop().is_none());
+            assert_eq!(q.events_processed(), 2, "cancelled events don't count");
+        }
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        for mut q in both() {
+            let h = q.push_cancellable(SimTime(1), 1);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert!(!q.cancel(h));
+        }
+    }
+
+    #[test]
+    fn with_capacity_and_shrink_after_drain() {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(SchedulerKind::Heap, 16);
+        assert!(q.capacity() >= 16);
+        for i in 0..100_000u64 {
+            q.push(SimTime(i), i);
+        }
+        assert!(q.capacity() >= 100_000, "burst grows the heap");
+        while q.pop().is_some() {}
+        assert!(
+            q.capacity() <= 64,
+            "drain shrinks back to near the initial capacity (got {})",
+            q.capacity()
+        );
+        assert_eq!(q.peak_len(), 100_000, "peak still reflects the burst");
+    }
+
+    #[test]
+    fn default_capacity_no_longer_hardcoded() {
+        let q: EventQueue<u64> = EventQueue::with_capacity(SchedulerKind::Heap, 4);
+        assert!(q.capacity() < DEFAULT_CAPACITY);
     }
 }

@@ -10,9 +10,15 @@
 //!   ([`SimTime`], [`Dur`]); at 100 Gbps one byte serializes in exactly 80 ps,
 //!   so every transmission time used by the paper (10/25/40/100 Gbps) is exact
 //!   with no floating-point drift.
-//! * [`event`] — a binary-heap event queue with a stable tie-break sequence
-//!   number, so same-timestamp events fire in insertion order and runs are
-//!   reproducible bit-for-bit.
+//! * [`event`] — the event queue: two interchangeable schedulers (the
+//!   reference binary heap and the fast-path hierarchical [`calendar`]
+//!   queue) with a stable tie-break sequence number, so same-timestamp
+//!   events fire in insertion order and runs are reproducible bit-for-bit
+//!   under either scheduler; cancellable timers ride on the same order.
+//! * [`calendar`] — the calendar-queue / timing-wheel implementation
+//!   behind [`event::SchedulerKind::Calendar`]: O(1) amortized insert/pop
+//!   for the near-future band (~1 ms window of ~1 µs buckets) plus a
+//!   binary-heap overflow band for far-future timers.
 //! * [`rng`] — a seedable xoshiro256++ PRNG plus the distributions the
 //!   workloads need (uniform, exponential, empirical CDF).
 //! * [`stats`] — online statistics, percentiles, time-weighted averages
@@ -28,6 +34,7 @@
 
 #![warn(missing_docs)]
 pub mod bucket;
+pub mod calendar;
 pub mod event;
 pub mod json;
 pub mod profile;
@@ -37,7 +44,7 @@ pub mod time;
 pub mod trace;
 
 pub use bucket::TokenBucket;
-pub use event::EventQueue;
+pub use event::{EventQueue, SchedulerKind};
 pub use json::Json;
 pub use profile::EngineReport;
 pub use rng::Rng;

@@ -21,6 +21,11 @@ pub struct EngineReport {
     pub wall_secs: f64,
     /// Simulated seconds covered by the run.
     pub sim_secs: f64,
+    /// Which scheduler ran the queue (`"heap"` / `"calendar"`).
+    pub scheduler: &'static str,
+    /// The calendar's adaptive bucket width (log2 ps) at report time;
+    /// `None` under the heap scheduler.
+    pub bucket_bits: Option<u32>,
 }
 
 impl EngineReport {
@@ -39,13 +44,18 @@ impl EngineReport {
         for (name, n) in &self.events_by_kind {
             by_kind.set(name, Json::num_u64(*n));
         }
-        Json::obj()
+        let mut j = Json::obj()
             .with("events_processed", Json::num_u64(self.events_processed))
             .with("events_by_kind", by_kind)
             .with("peak_queue_len", Json::num_u64(self.peak_queue_len as u64))
             .with("wall_secs", Json::Num(self.wall_secs))
             .with("sim_secs", Json::Num(self.sim_secs))
             .with("events_per_sec", Json::Num(self.events_per_sec()))
+            .with("scheduler", Json::str(self.scheduler));
+        if let Some(bits) = self.bucket_bits {
+            j.set("bucket_bits", Json::num_u64(bits as u64));
+        }
+        j
     }
 }
 
@@ -71,6 +81,8 @@ mod tests {
             peak_queue_len: 4,
             wall_secs: 0.5,
             sim_secs: 2.0,
+            scheduler: "calendar",
+            bucket_bits: Some(18),
         };
         let j = json::parse(&r.to_json().to_string()).unwrap();
         assert_eq!(j.get("events_processed").unwrap().as_u64(), Some(12));

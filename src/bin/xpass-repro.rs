@@ -4,6 +4,9 @@
 //! xpass-repro list                    # show available experiments
 //! xpass-repro fig16                   # run one experiment, print its table
 //! xpass-repro all                     # run everything
+//! xpass-repro fig01 fig10 fig16       # run several experiments
+//! xpass-repro all --jobs 4            # run experiments on 4 worker threads
+//! xpass-repro fig16 --scheduler heap  # use the reference heap scheduler
 //! xpass-repro fig17 --paper-scale     # use the paper's full parameters
 //! xpass-repro fig19 --seed 7          # override the experiment RNG seed
 //! xpass-repro fig19 --json out/       # also write out/fig19.json
@@ -17,11 +20,23 @@
 //!
 //! `--trace <file>` streams trace events as JSON Lines from experiments
 //! that support tracing (currently fig19).
+//!
+//! `--jobs N` runs the selected experiments on up to N worker threads
+//! (one single-threaded engine per experiment). Results are printed and
+//! written in experiment order regardless of completion order, so stdout
+//! and the `--json` directory are byte-identical for every N.
+//!
+//! `--scheduler heap|calendar` selects the event-queue implementation
+//! (default: calendar, the fast path). Both produce identical results —
+//! the differential test suite pins it — so this flag only exists for
+//! benchmarking and verification.
 
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use xpass::experiments as ex;
+use xpass::experiments::parallel;
+use xpass::sim::event::SchedulerKind;
 use xpass::sim::json::Json;
 use xpass::sim::trace::{JsonlSink, TraceSink};
 
@@ -306,8 +321,9 @@ fn open_trace(path: Option<&Path>) -> Option<Box<dyn TraceSink>> {
 
 fn usage(exps: &[Experiment]) -> String {
     let mut s = String::from(
-        "usage: xpass-repro <experiment|all|list> [--paper-scale] [--seed <u64>]\n\
-         \x20                 [--json <dir>] [--trace <file>]\n\nexperiments:\n",
+        "usage: xpass-repro <experiment...|all|list> [--paper-scale] [--seed <u64>]\n\
+         \x20                 [--json <dir>] [--trace <file>] [--jobs <n>]\n\
+         \x20                 [--scheduler heap|calendar]\n\nexperiments:\n",
     );
     for e in exps {
         s.push_str(&format!("  {:<10} {}\n", e.name, e.what));
@@ -344,25 +360,46 @@ fn write_json_record(
     Ok(path)
 }
 
-fn run_one(e: &Experiment, opts: &RunOpts, json_dir: Option<&Path>) -> bool {
-    if opts.trace.is_some() && !e.traces {
-        eprintln!(
-            "xpass-repro: note: {} does not record traces; --trace ignored",
-            e.name
-        );
-    }
-    let out = (e.run)(opts);
-    println!("{}", out.text);
-    if let Some(dir) = json_dir {
-        match write_json_record(dir, e, opts, &out) {
-            Ok(path) => eprintln!("xpass-repro: wrote {}", path.display()),
-            Err(err) => {
-                eprintln!("xpass-repro: cannot write JSON record: {err}");
-                return false;
+/// Run the selected experiments — serially inline for `jobs <= 1`, on a
+/// scoped worker pool otherwise — then print tables and write `--json`
+/// records **in selection order**, so output bytes are independent of the
+/// job count and of thread scheduling.
+fn run_selected(
+    selected: &[&Experiment],
+    opts: &RunOpts,
+    json_dir: Option<&Path>,
+    jobs: usize,
+    scheduler: SchedulerKind,
+    banners: bool,
+) -> bool {
+    if opts.trace.is_some() {
+        for e in selected {
+            if !e.traces {
+                eprintln!(
+                    "xpass-repro: note: {} does not record traces; --trace ignored",
+                    e.name
+                );
             }
         }
     }
-    true
+    let outputs = parallel::run_indexed(selected.to_vec(), jobs, scheduler, |_, e| (e.run)(opts));
+    let mut ok = true;
+    for (e, out) in selected.iter().zip(&outputs) {
+        if banners {
+            println!("==== {} — {} ====", e.name, e.what);
+        }
+        println!("{}", out.text);
+        if let Some(dir) = json_dir {
+            match write_json_record(dir, e, opts, out) {
+                Ok(path) => eprintln!("xpass-repro: wrote {}", path.display()),
+                Err(err) => {
+                    eprintln!("xpass-repro: cannot write JSON record: {err}");
+                    ok = false;
+                }
+            }
+        }
+    }
+    ok
 }
 
 fn main() -> ExitCode {
@@ -374,6 +411,8 @@ fn main() -> ExitCode {
         trace: None,
     };
     let mut json_dir: Option<PathBuf> = None;
+    let mut jobs: usize = 1;
+    let mut scheduler = SchedulerKind::default();
     let mut targets: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -382,6 +421,22 @@ fn main() -> ExitCode {
                 Some(s) => opts.seed = Some(s),
                 None => {
                     eprintln!("xpass-repro: --seed needs an unsigned integer\n");
+                    eprint!("{}", usage(&exps));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("xpass-repro: --jobs needs an integer >= 1\n");
+                    eprint!("{}", usage(&exps));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scheduler" => match args.next().as_deref().and_then(SchedulerKind::parse) {
+                Some(k) => scheduler = k,
+                None => {
+                    eprintln!("xpass-repro: --scheduler needs 'heap' or 'calendar'\n");
                     eprint!("{}", usage(&exps));
                     return ExitCode::FAILURE;
                 }
@@ -416,28 +471,39 @@ fn main() -> ExitCode {
             print!("{}", usage(&exps));
             ExitCode::SUCCESS
         }
-        Some("all") => {
-            for e in &exps {
-                println!("==== {} — {} ====", e.name, e.what);
-                if !run_one(e, &opts, json_dir.as_deref()) {
-                    return ExitCode::FAILURE;
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        Some(name) => match exps.iter().find(|e| e.name == name) {
-            Some(e) => {
-                if run_one(e, &opts, json_dir.as_deref()) {
-                    ExitCode::SUCCESS
-                } else {
-                    ExitCode::FAILURE
-                }
-            }
-            None => {
-                eprintln!("xpass-repro: unknown experiment '{name}'\n");
-                eprint!("{}", usage(&exps));
+        Some("all") if targets.len() == 1 => {
+            let selected: Vec<&Experiment> = exps.iter().collect();
+            if run_selected(&selected, &opts, json_dir.as_deref(), jobs, scheduler, true) {
+                ExitCode::SUCCESS
+            } else {
                 ExitCode::FAILURE
             }
-        },
+        }
+        Some(_) => {
+            let mut selected: Vec<&Experiment> = Vec::with_capacity(targets.len());
+            for name in &targets {
+                match exps.iter().find(|e| e.name == name.as_str()) {
+                    Some(e) => selected.push(e),
+                    None => {
+                        eprintln!("xpass-repro: unknown experiment '{name}'\n");
+                        eprint!("{}", usage(&exps));
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let banners = selected.len() > 1;
+            if run_selected(
+                &selected,
+                &opts,
+                json_dir.as_deref(),
+                jobs,
+                scheduler,
+                banners,
+            ) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
     }
 }

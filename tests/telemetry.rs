@@ -139,6 +139,14 @@ fn engine_report_is_consistent() {
     assert_eq!(by_kind, rep.events_processed, "per-kind counts must sum");
     assert!(rep.events_processed > 1000);
     assert!(rep.peak_queue_len > 0);
+    // Regression fence: a 4-pair dumbbell keeps ~38 live events at peak
+    // (a handful per flow plus per-port timers). A leak of cancelled
+    // timers or a scheduler that stops consuming would blow well past 64.
+    assert!(
+        rep.peak_queue_len <= 64,
+        "peak queue depth regressed: {} live events (expected <= 64)",
+        rep.peak_queue_len
+    );
     assert!(rep.sim_secs > 0.0);
     assert!(rep.wall_secs > 0.0);
     assert!(rep.events_per_sec() > 0.0);
@@ -146,6 +154,11 @@ fn engine_report_is_consistent() {
     assert_eq!(
         j.get("events_processed").unwrap().as_u64(),
         Some(rep.events_processed)
+    );
+    assert_eq!(
+        j.get("scheduler").unwrap().as_str(),
+        Some(rep.scheduler),
+        "report must name the scheduler that ran the queue"
     );
 }
 
