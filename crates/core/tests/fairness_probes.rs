@@ -1,0 +1,125 @@
+//! ExpressPass fairness and stability probes — promoted from ignored debug
+//! printouts into real assertions: equal flows share a bottleneck fairly,
+//! tiny buffers stay lossless, a lone flow fills the pipe, and staggered
+//! flows converge to an even split.
+
+use expresspass::{xpass_factory, XPassConfig};
+use xpass_net::config::{HostDelayModel, NetConfig};
+use xpass_net::ids::HostId;
+use xpass_net::network::Network;
+use xpass_net::topology::Topology;
+use xpass_sim::time::{Dur, SimTime};
+
+const G10: u64 = 10_000_000_000;
+
+fn deterministic_hosts(mut cfg: NetConfig) -> NetConfig {
+    cfg.host_delay = HostDelayModel {
+        min: Dur::us(1),
+        max: Dur::us(1),
+    };
+    cfg
+}
+
+#[test]
+fn two_equal_flows_share_the_bottleneck() {
+    let topo = Topology::dumbbell(2, G10, Dur::us(1));
+    let cfg = deterministic_hosts(NetConfig::expresspass().with_seed(13));
+    let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+    let a = net.add_flow(HostId(0), HostId(2), 5_000_000, SimTime::ZERO);
+    let b = net.add_flow(HostId(1), HostId(3), 5_000_000, SimTime::ZERO);
+    // Mid-transfer the two deliveries should track each other closely.
+    net.run_until(SimTime::ZERO + Dur::ms(5));
+    let (da, db) = (net.delivered_bytes(a) as f64, net.delivered_bytes(b) as f64);
+    assert!(da > 0.0 && db > 0.0);
+    assert!(
+        da.min(db) / da.max(db) > 0.8,
+        "unfair mid-transfer split: {da} vs {db} bytes"
+    );
+    // Both 5 MB flows complete well before a generous cap.
+    net.run_until_done(SimTime::ZERO + Dur::ms(50));
+    assert_eq!(net.completed_count(), 2, "flows did not finish by 50 ms");
+}
+
+#[test]
+fn tiny_switch_buffers_stay_lossless_under_incast() {
+    // 8-to-1 incast into a tiny switch buffer: the credit loop must keep
+    // data queues bounded (§3's bounded-queue claim). Four packets of
+    // buffer suffice; two are genuinely below the bound and drop.
+    let run = |pkts: u64| {
+        let topo = Topology::star(9, G10, Dur::us(1));
+        let mut cfg = NetConfig::expresspass().with_seed(37);
+        cfg.switch_queue_bytes = pkts * 1538;
+        cfg.host_delay = HostDelayModel::software();
+        let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+        for i in 0..8u32 {
+            net.add_flow(HostId(i), HostId(8), 300_000, SimTime::ZERO);
+        }
+        net.run_until_done(SimTime::ZERO + Dur::ms(100));
+        assert_eq!(net.completed_count(), 8, "incast flows did not all finish");
+        (net.total_data_drops(), net.max_switch_queue_bytes())
+    };
+    let (drops, maxq) = run(4);
+    assert_eq!(drops, 0, "data dropped with a 4-packet buffer");
+    assert!(
+        maxq <= 4 * 1538,
+        "queue exceeded the configured cap: {maxq}"
+    );
+    let (drops, _) = run(2);
+    assert!(
+        drops > 0,
+        "a 2-packet buffer is below the bound; expected drops"
+    );
+}
+
+#[test]
+fn lone_flow_fills_the_pipe() {
+    let topo = Topology::dumbbell(1, G10, Dur::us(1));
+    let cfg = deterministic_hosts(NetConfig::expresspass().with_seed(11));
+    let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+    let f = net.add_flow(HostId(0), HostId(1), 20_000_000, SimTime::ZERO);
+    // Past the ramp-up, a 2 ms window should run near the credit-shaped
+    // data rate (1538/1622 of line rate, minus headers).
+    net.run_until(SimTime::ZERO + Dur::ms(4));
+    let d0 = net.delivered_bytes(f);
+    net.run_until(SimTime::ZERO + Dur::ms(6));
+    let goodput_bps = (net.delivered_bytes(f) - d0) as f64 * 8.0 / 2e-3;
+    assert!(
+        goodput_bps > 0.8 * G10 as f64,
+        "steady-state goodput only {:.2} Gbps",
+        goodput_bps / 1e9
+    );
+}
+
+#[test]
+fn staggered_flows_converge_to_even_split() {
+    let topo = Topology::dumbbell(4, G10, Dur::us(8));
+    let cfg = deterministic_hosts(NetConfig::expresspass().with_seed(41));
+    let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+    let flows: Vec<_> = (0..4)
+        .map(|i| {
+            net.add_flow(
+                HostId(i),
+                HostId(4 + i),
+                2_500_000_000,
+                SimTime::ZERO + Dur::us(i as u64 * 37),
+            )
+        })
+        .collect();
+    // Long flows: measure the steady-state split over [8 ms, 12 ms].
+    net.run_until(SimTime::ZERO + Dur::ms(8));
+    let base: Vec<u64> = flows.iter().map(|&f| net.delivered_bytes(f)).collect();
+    net.run_until(SimTime::ZERO + Dur::ms(12));
+    let deltas: Vec<f64> = flows
+        .iter()
+        .zip(&base)
+        .map(|(&f, &b)| (net.delivered_bytes(f) - b) as f64)
+        .collect();
+    let sum: f64 = deltas.iter().sum();
+    let sum_sq: f64 = deltas.iter().map(|d| d * d).sum();
+    let jain = sum * sum / (4.0 * sum_sq);
+    assert!(sum > 0.0);
+    assert!(
+        jain > 0.9,
+        "poor fairness across staggered flows: index {jain:.3}, {deltas:?}"
+    );
+}

@@ -298,6 +298,78 @@ impl fmt::Display for Ablations {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Ablations {
+    /// Structured payload: one object per ablation panel.
+    pub fn to_json(&self) -> Json {
+        let drop_policies = self
+            .drop_policies
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("policy", Json::str(r.policy))
+                    .with("utilization", Json::Num(r.utilization))
+                    .with("fairness", Json::Num(r.fairness))
+            })
+            .collect();
+        let routing = self
+            .routing
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("mode", Json::str(r.mode))
+                    .with("mean_fct_s", Json::Num(r.mean_fct))
+                    .with("max_queue_bytes", Json::num_u64(r.max_queue))
+            })
+            .collect();
+        let w_min = self
+            .w_min
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("w_min", Json::Num(r.w_min))
+                    .with("oscillation", Json::Num(r.oscillation))
+                    .with("d_star", Json::Num(r.d_star))
+            })
+            .collect();
+        Json::obj()
+            .with("drop_policies", Json::Arr(drop_policies))
+            .with("routing", Json::Arr(routing))
+            .with(
+                "early_stop_waste",
+                Json::obj()
+                    .with("off", Json::num_u64(self.early_stop_waste.0))
+                    .with("on", Json::num_u64(self.early_stop_waste.1)),
+            )
+            .with("w_min", Json::Arr(w_min))
+    }
+}
+
+/// Registry adapter: drives the ablations through the
+/// [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "ablations"
+    }
+    fn describe(&self) -> &str {
+        "design-choice ablations"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -289,6 +289,56 @@ impl fmt::Display for FaultRecovery {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl FaultRecovery {
+    /// Structured payload: both scenarios' headline numbers plus the full
+    /// counter sets (the determinism check rides along as a bool).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("pre_gbps", Json::Num(self.pre_gbps))
+            .with("during_gbps", Json::Num(self.during_gbps))
+            .with("post_gbps", Json::Num(self.post_gbps))
+            .with(
+                "reconvergence_s",
+                crate::experiment::json_opt_secs(self.reconvergence),
+            )
+            .with("credit_data_drops", Json::num_u64(self.credit_data_drops))
+            .with("credit_counters", self.credit_counters.to_json())
+            .with(
+                "linkfail_completed",
+                Json::num_u64(self.linkfail_completed as u64),
+            )
+            .with("linkfail_total", Json::num_u64(self.linkfail_total as u64))
+            .with("linkfail_counters", self.linkfail_counters.to_json())
+            .with("deterministic", Json::Bool(self.deterministic))
+    }
+}
+
+/// Registry adapter: drives the fault-recovery study through the
+/// [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "faults"
+    }
+    fn describe(&self) -> &str {
+        "fault injection: re-convergence after failures"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -181,6 +181,62 @@ impl fmt::Display for Fig1 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig1 {
+    /// Structured payload: every series with its per-fan-out queue stats.
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .with("fan_out", Json::num_u64(p.fan_out as u64))
+                            .with("max_pkts", Json::Num(p.max_pkts))
+                            .with("p50_pkts", Json::Num(p.p50_pkts))
+                            .with("p75_pkts", Json::Num(p.p75_pkts))
+                    })
+                    .collect();
+                Json::obj()
+                    .with("scheme", Json::str(s.scheme))
+                    .with("points", Json::Arr(points))
+            })
+            .collect();
+        Json::obj().with("series", Json::Arr(series))
+    }
+}
+
+/// Registry adapter: drives Fig 1 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig01"
+    }
+    fn describe(&self) -> &str {
+        "queue build-up under partition/aggregate"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn paper_scale_config(&mut self) -> bool {
+        self.0 = Config::paper_scale();
+        true
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

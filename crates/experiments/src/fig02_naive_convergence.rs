@@ -117,6 +117,49 @@ impl fmt::Display for Fig2 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig2 {
+    /// Structured payload: per-scheme convergence time (seconds, `null`
+    /// when the flow never reached its fair share in the window).
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj().with("scheme", Json::str(r.scheme)).with(
+                    "convergence_s",
+                    crate::experiment::json_opt_secs(r.convergence),
+                )
+            })
+            .collect();
+        Json::obj().with("rows", Json::Arr(rows))
+    }
+}
+
+/// Registry adapter: drives Fig 2 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig02"
+    }
+    fn describe(&self) -> &str {
+        "naive credit vs CUBIC vs DCTCP convergence"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,52 @@ impl fmt::Display for Fig5 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig5 {
+    /// Structured payload: one record per bar with the full breakdown.
+    pub fn to_json(&self) -> Json {
+        let bars = self
+            .bars
+            .iter()
+            .map(|b| {
+                Json::obj()
+                    .with("speeds", Json::str(b.speeds))
+                    .with("params", Json::str(b.params))
+                    .with("total_bytes", Json::num_u64(b.breakdown.total_bytes))
+                    .with("data_bytes", Json::num_u64(b.breakdown.data_bytes))
+                    .with(
+                        "credit_static_bytes",
+                        Json::num_u64(b.breakdown.credit_static_bytes),
+                    )
+                    .with(
+                        "host_spread_bytes",
+                        Json::num_u64(b.breakdown.host_spread_bytes),
+                    )
+            })
+            .collect();
+        Json::obj().with("bars", Json::Arr(bars))
+    }
+}
+
+/// Registry adapter: drives Fig 5 through the [`crate::Experiment`] trait.
+/// The figure is analytic — no config, seed, or paper scale.
+#[derive(Default)]
+pub struct Exp;
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig05"
+    }
+    fn describe(&self) -> &str {
+        "ToR buffer requirement vs link speed"
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run();
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -162,6 +162,49 @@ impl fmt::Display for Fig6a {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig6a {
+    /// Structured payload: Jain index per (flows, jitter) point. `jitter`
+    /// is `null` for the uniform-random-drop reference runs.
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .with("flows", Json::num_u64(p.flows as u64))
+                    .with("jitter", crate::experiment::json_opt_f64(p.jitter))
+                    .with("fairness", Json::Num(p.fairness))
+            })
+            .collect();
+        Json::obj().with("points", Json::Arr(points))
+    }
+}
+
+/// Registry adapter: drives Fig 6a through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig06"
+    }
+    fn describe(&self) -> &str {
+        "pacing jitter vs credit-drop fairness"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -135,6 +135,53 @@ impl fmt::Display for Fig8 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig8 {
+    /// Structured payload: per-α convergence (in RTTs) and credit waste.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("alpha", Json::Num(r.alpha))
+                    .with(
+                        "convergence_rtts",
+                        crate::experiment::json_opt_f64(r.convergence_rtts),
+                    )
+                    .with("wasted_credits", Json::num_u64(r.wasted_credits))
+            })
+            .collect();
+        Json::obj()
+            .with("rtt_s", Json::Num(self.rtt))
+            .with("rows", Json::Arr(rows))
+    }
+}
+
+/// Registry adapter: drives Fig 8 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig08"
+    }
+    fn describe(&self) -> &str {
+        "initial-rate trade-off"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

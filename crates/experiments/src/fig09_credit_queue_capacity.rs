@@ -140,6 +140,48 @@ impl fmt::Display for Fig9 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig9 {
+    /// Structured payload: underutilization per (flows, capacity) point.
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .with("flows", Json::num_u64(p.flows as u64))
+                    .with("capacity", Json::num_u64(p.capacity as u64))
+                    .with("underutilization", Json::Num(p.underutilization))
+            })
+            .collect();
+        Json::obj().with("points", Json::Arr(points))
+    }
+}
+
+/// Registry adapter: drives Fig 9 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig09"
+    }
+    fn describe(&self) -> &str {
+        "credit queue capacity vs utilization"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

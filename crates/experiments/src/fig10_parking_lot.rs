@@ -6,9 +6,12 @@
 
 use crate::harness::{text_table, Scheme};
 use std::fmt;
-use xpass_net::ids::{HostId, NodeId, SwitchId};
+use xpass_net::ids::{NodeId, SwitchId};
+use xpass_net::network::Network;
 use xpass_net::topology::Topology;
+use xpass_sim::json::Json;
 use xpass_sim::time::{Dur, SimTime};
+use xpass_workloads::{add_all, parking_lot};
 
 /// Fig 10 configuration.
 #[derive(Clone, Debug)]
@@ -62,21 +65,19 @@ pub struct Fig10 {
     pub series: Vec<Series>,
 }
 
-fn measure(cfg: &Config, scheme: Scheme, n: usize) -> f64 {
-    // Chain of n+1 switches → n bottleneck links; 2 hosts per switch.
-    let topo = Topology::chain(n + 1, 2, cfg.link_bps, Dur::us(1));
-    let mut net = scheme.build(topo, cfg.link_bps, cfg.seed);
-    let bytes = (cfg.link_bps / 8) * 2;
-    // Flow 0: end to end (host 0 on sw0 → host on last switch).
-    let last_host = HostId((2 * n + 1) as u32);
-    net.add_flow(HostId(0), last_host, bytes, SimTime::ZERO);
-    // Cross flow i on link i: src on switch i, dst on switch i+1.
-    for i in 0..n {
-        let src = HostId((2 * i + 1) as u32);
-        let dst = HostId((2 * (i + 1)) as u32);
-        net.add_flow(src, dst, bytes, SimTime::ZERO);
-    }
-    net.run_until(SimTime::ZERO + cfg.warmup);
+/// Warm a chain network up for `warmup`, then measure each of the `n`
+/// switch-to-switch links over `window` and return the minimum utilization,
+/// normalized by the maximum goodput-carrying data rate (1538/1622 of line
+/// rate). Shared between this module and the scenario engine's
+/// `min_link_utilization` measurement so both report identical numbers.
+pub fn min_chain_utilization(
+    net: &mut Network,
+    n: usize,
+    link_bps: u64,
+    warmup: Dur,
+    window: Dur,
+) -> f64 {
+    net.run_until(SimTime::ZERO + warmup);
     let links: Vec<_> = (0..n)
         .map(|i| {
             net.topo()
@@ -88,13 +89,22 @@ fn measure(cfg: &Config, scheme: Scheme, n: usize) -> f64 {
         })
         .collect();
     let before: Vec<u64> = links.iter().map(|&l| net.port(l).tx_data_bytes).collect();
-    net.run_until(SimTime::ZERO + cfg.warmup + cfg.window);
-    let max_data = cfg.link_bps as f64 * (1538.0 / 1622.0) / 8.0 * cfg.window.as_secs_f64();
+    net.run_until(SimTime::ZERO + warmup + window);
+    let max_data = link_bps as f64 * (1538.0 / 1622.0) / 8.0 * window.as_secs_f64();
     links
         .iter()
         .zip(before)
         .map(|(&l, b)| (net.port(l).tx_data_bytes - b) as f64 / max_data)
         .fold(f64::INFINITY, f64::min)
+}
+
+fn measure(cfg: &Config, scheme: Scheme, n: usize) -> f64 {
+    // Chain of n+1 switches → n bottleneck links; 2 hosts per switch.
+    let topo = Topology::chain(n + 1, 2, cfg.link_bps, Dur::us(1));
+    let mut net = scheme.build(topo, cfg.link_bps, cfg.seed);
+    let bytes = (cfg.link_bps / 8) * 2;
+    add_all(&mut net, &parking_lot(n, bytes));
+    min_chain_utilization(&mut net, n, cfg.link_bps, cfg.warmup, cfg.window)
 }
 
 /// Run both series.
@@ -145,6 +155,54 @@ impl fmt::Display for Fig10 {
             .collect();
         writeln!(f, "Fig 10: min link utilization on the parking lot")?;
         write!(f, "{}", text_table(&hdr_refs, &rows))
+    }
+}
+
+impl Fig10 {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .with("n", Json::num_u64(p.n as u64))
+                            .with("min_utilization", Json::Num(p.min_utilization))
+                    })
+                    .collect();
+                Json::obj()
+                    .with("scheme", Json::str(s.scheme))
+                    .with("points", Json::Arr(points))
+            })
+            .collect();
+        Json::obj().with("series", Json::Arr(series))
+    }
+}
+
+/// Registry adapter: drives Fig 10 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig10"
+    }
+    fn describe(&self) -> &str {
+        "parking-lot utilization"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
     }
 }
 

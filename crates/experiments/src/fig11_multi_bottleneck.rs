@@ -188,6 +188,58 @@ impl fmt::Display for Fig11 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig11 {
+    /// Structured payload: flow-0 throughput vs the max-min ideal per
+    /// bottleneck count, for every scheme series.
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .with("n", Json::num_u64(p.n as u64))
+                            .with("flow0_gbps", Json::Num(p.flow0_gbps))
+                            .with("ideal_gbps", Json::Num(p.ideal_gbps))
+                    })
+                    .collect();
+                Json::obj()
+                    .with("scheme", Json::str(s.scheme))
+                    .with("points", Json::Arr(points))
+            })
+            .collect();
+        Json::obj().with("series", Json::Arr(series))
+    }
+}
+
+/// Registry adapter: drives Fig 11 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig11"
+    }
+    fn describe(&self) -> &str {
+        "multi-bottleneck fairness"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

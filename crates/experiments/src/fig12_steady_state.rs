@@ -108,6 +108,50 @@ impl fmt::Display for Fig12 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig12 {
+    /// Structured payload: the rate trace plus the analytic lines.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with(
+                "trace",
+                Json::Arr(self.trace.iter().map(|&r| Json::Num(r)).collect()),
+            )
+            .with("fair_share", Json::Num(self.fair_share))
+            .with("d_star", Json::Num(self.d_star))
+            .with(
+                "converged_at",
+                match self.converged_at {
+                    Some(p) => Json::num_u64(p as u64),
+                    None => Json::Null,
+                },
+            )
+            .with("late_oscillation", Json::Num(self.late_oscillation))
+    }
+}
+
+/// Registry adapter: drives Fig 12 through the [`crate::Experiment`] trait.
+/// The discrete model is deterministic — no seed.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig12"
+    }
+    fn describe(&self) -> &str {
+        "steady-state feedback model"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -149,6 +149,64 @@ impl fmt::Display for Fig13 {
     }
 }
 
+use xpass_sim::json::Json;
+
+fn series_json(s: &TimeSeries) -> Json {
+    Json::Arr(
+        s.samples
+            .iter()
+            .map(|&(t, v)| {
+                Json::obj()
+                    .with("t", Json::Num(t.as_secs_f64()))
+                    .with("v", Json::Num(v))
+            })
+            .collect(),
+    )
+}
+
+impl Fig13 {
+    /// Structured payload: per-flow throughput series, the queue series,
+    /// and the headline numbers.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("scheme", Json::str(self.scheme))
+            .with(
+                "flows",
+                Json::Arr(self.flows.iter().map(series_json).collect()),
+            )
+            .with("queue", series_json(&self.queue))
+            .with("max_queue_bytes", Json::num_u64(self.max_queue_bytes))
+            .with("full_load_gbps", Json::Num(self.full_load_gbps))
+    }
+}
+
+/// Registry adapter: drives Fig 13 (both schemes) through the
+/// [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig13"
+    }
+    fn describe(&self) -> &str {
+        "five staggered flows trace"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let (a, b) = run_both(&self.0);
+        crate::ExperimentOutput::new(
+            format!("{a}\n{b}"),
+            Json::obj().with("runs", Json::Arr(vec![a.to_json(), b.to_json()])),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

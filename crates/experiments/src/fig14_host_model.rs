@@ -143,6 +143,57 @@ impl fmt::Display for Fig14 {
     }
 }
 
+use xpass_sim::json::Json;
+
+fn cdf_json(cdf: &Cdf) -> Json {
+    let qs = [0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
+    Json::Arr(
+        qs.iter()
+            .map(|&q| {
+                Json::obj()
+                    .with("q", Json::Num(q))
+                    .with("v", Json::Num(cdf.value_at(q)))
+            })
+            .collect(),
+    )
+}
+
+impl Fig14 {
+    /// Structured payload: quantile summaries of the three CDFs plus the
+    /// ideal gap and TX-gap standard deviation (seconds throughout).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("host_delay_cdf", cdf_json(&self.host_delay_cdf))
+            .with("tx_gap_cdf", cdf_json(&self.tx_gap_cdf))
+            .with("rx_gap_cdf", cdf_json(&self.rx_gap_cdf))
+            .with("ideal_gap_s", Json::Num(self.ideal_gap))
+            .with("tx_gap_stddev_s", Json::Num(self.tx_gap_stddev))
+    }
+}
+
+/// Registry adapter: drives Fig 14 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig14"
+    }
+    fn describe(&self) -> &str {
+        "host model distributions"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -156,6 +156,60 @@ impl fmt::Display for Fig15 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig15 {
+    /// Structured payload: utilization/fairness/queue/drops per flow count
+    /// for every scheme series.
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .with("flows", Json::num_u64(p.flows as u64))
+                            .with("utilization", Json::Num(p.utilization))
+                            .with("fairness", Json::Num(p.fairness))
+                            .with("max_queue_bytes", Json::num_u64(p.max_queue_bytes))
+                            .with("drops", Json::num_u64(p.drops))
+                    })
+                    .collect();
+                Json::obj()
+                    .with("scheme", Json::str(s.scheme))
+                    .with("points", Json::Arr(points))
+            })
+            .collect();
+        Json::obj().with("series", Json::Arr(series))
+    }
+}
+
+/// Registry adapter: drives Fig 15 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig15"
+    }
+    fn describe(&self) -> &str {
+        "flow scalability"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -131,6 +131,49 @@ impl fmt::Display for Fig16 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig16 {
+    /// Structured payload: convergence in RTTs per (scheme, speed) cell.
+    /// `rtts` is `null` when the flow did not converge in the window.
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .with("scheme", Json::str(&c.scheme))
+                    .with("speed_bps", Json::num_u64(c.speed_bps))
+                    .with("rtts", crate::experiment::json_opt_f64(c.rtts))
+            })
+            .collect();
+        Json::obj().with("cells", Json::Arr(cells))
+    }
+}
+
+/// Registry adapter: drives Fig 16 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig16"
+    }
+    fn describe(&self) -> &str {
+        "convergence time at 10G/100G"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

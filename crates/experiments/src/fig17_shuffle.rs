@@ -141,6 +141,56 @@ impl fmt::Display for Fig17 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig17 {
+    /// Structured payload: FCT distribution summary per scheme (seconds).
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("scheme", Json::str(r.scheme))
+                    .with("median_s", Json::Num(r.median))
+                    .with("p99_s", Json::Num(r.p99))
+                    .with("max_s", Json::Num(r.max))
+                    .with("unfinished", Json::num_u64(r.unfinished as u64))
+            })
+            .collect();
+        Json::obj()
+            .with("n_flows", Json::num_u64(self.n_flows as u64))
+            .with("rows", Json::Arr(rows))
+    }
+}
+
+/// Registry adapter: drives Fig 17 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig17"
+    }
+    fn describe(&self) -> &str {
+        "MapReduce shuffle FCTs"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn paper_scale_config(&mut self) -> bool {
+        self.0 = Config::paper_scale();
+        true
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,50 @@ impl fmt::Display for Fig18 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig18 {
+    /// Structured payload: short/large p99 FCTs and waste per (α, w_init).
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("alpha", Json::Num(r.alpha))
+                    .with("w_init", Json::Num(r.w_init))
+                    .with("p99_s_s", Json::Num(r.p99_s))
+                    .with("p99_l_s", Json::Num(r.p99_l))
+                    .with("waste", Json::Num(r.waste))
+            })
+            .collect();
+        Json::obj().with("rows", Json::Arr(rows))
+    }
+}
+
+/// Registry adapter: drives Fig 18 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig18"
+    }
+    fn describe(&self) -> &str {
+        "(alpha, w_init) sensitivity"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

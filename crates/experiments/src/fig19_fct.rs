@@ -219,6 +219,38 @@ impl fmt::Display for Fig19 {
     }
 }
 
+/// Registry adapter: drives Fig 19 through the [`crate::Experiment`] trait.
+/// The only experiment that records `--trace` events.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig19"
+    }
+    fn describe(&self) -> &str {
+        "realistic-workload FCTs"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn paper_scale_config(&mut self) -> bool {
+        self.0 = Config::paper_scale();
+        true
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn traces(&self) -> bool {
+        true
+    }
+    fn run(&self, trace: Option<Box<dyn TraceSink>>) -> crate::ExperimentOutput {
+        let (r, sink) = run_traced(&self.0, trace);
+        drop(sink); // flush
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

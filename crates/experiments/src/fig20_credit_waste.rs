@@ -111,6 +111,49 @@ impl fmt::Display for Fig20 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig20 {
+    /// Structured payload: waste ratio per (workload, speed, α) cell.
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .with("workload", Json::str(c.workload))
+                    .with("speed_bps", Json::num_u64(c.speed_bps))
+                    .with("alpha", Json::Num(c.alpha))
+                    .with("waste_ratio", Json::Num(c.waste_ratio))
+            })
+            .collect();
+        Json::obj().with("cells", Json::Arr(cells))
+    }
+}
+
+/// Registry adapter: drives Fig 20 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig20"
+    }
+    fn describe(&self) -> &str {
+        "credit waste ratio"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,6 +121,54 @@ impl fmt::Display for Fig21 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Fig21 {
+    /// Structured payload: per-bucket speed-ups per (workload, scheme)
+    /// row. Empty buckets (NaN speed-up) serialize as `null`.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let speedup = r
+                    .speedup
+                    .iter()
+                    .map(|&s| if s.is_nan() { Json::Null } else { Json::Num(s) })
+                    .collect();
+                Json::obj()
+                    .with("workload", Json::str(r.workload))
+                    .with("scheme", Json::str(r.scheme))
+                    .with("speedup", Json::Arr(speedup))
+            })
+            .collect();
+        Json::obj().with("rows", Json::Arr(rows))
+    }
+}
+
+/// Registry adapter: drives Fig 21 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "fig21"
+    }
+    fn describe(&self) -> &str {
+        "40G-over-10G FCT speed-up"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,8 +31,15 @@
 //! | [`ablations`] | design-choice ablations (drop policy, routing, §7 features) |
 //! | [`fault_recovery`] | robustness — re-convergence after injected faults |
 
+//!
+//! Every module also exposes an `Exp` adapter implementing the
+//! [`Experiment`] trait; [`registry::all`] lists them in canonical order
+//! and [`scenario`] executes declarative JSON scenario files through the
+//! same interface.
+
 #![warn(missing_docs)]
 pub mod ablations;
+pub mod experiment;
 pub mod fault_recovery;
 pub mod fig01_queue_buildup;
 pub mod fig02_naive_convergence;
@@ -54,7 +61,10 @@ pub mod fig20_credit_waste;
 pub mod fig21_speedup;
 pub mod harness;
 pub mod parallel;
+pub mod registry;
+pub mod scenario;
 pub mod table1_buffer_bounds;
 pub mod table3_queue;
 
+pub use experiment::{Experiment, ExperimentOutput};
 pub use harness::{FctBuckets, Scheme, SizeBucket};

@@ -80,6 +80,49 @@ impl fmt::Display for Table1 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Table1 {
+    /// Structured payload: computed vs paper bounds per port class.
+    pub fn to_json(&self) -> Json {
+        let bound = |(ours, paper): (u64, f64)| {
+            Json::obj()
+                .with("bytes", Json::num_u64(ours))
+                .with("paper_bytes", Json::Num(paper))
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("topology", Json::str(&r.topology))
+                    .with("tor_down", bound(r.tor_down))
+                    .with("tor_up", bound(r.tor_up))
+                    .with("core", bound(r.core))
+            })
+            .collect();
+        Json::obj().with("rows", Json::Arr(rows))
+    }
+}
+
+/// Registry adapter: drives Table 1 through the [`crate::Experiment`]
+/// trait. The table is analytic — no config, seed, or paper scale.
+#[derive(Default)]
+pub struct Exp;
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "table1"
+    }
+    fn describe(&self) -> &str {
+        "network-calculus buffer bounds"
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run();
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

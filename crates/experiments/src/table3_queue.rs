@@ -127,6 +127,54 @@ impl fmt::Display for Table3 {
     }
 }
 
+use xpass_sim::json::Json;
+
+impl Table3 {
+    /// Structured payload: avg/max queue bytes per (workload, load, scheme).
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .with("workload", Json::str(c.workload))
+                    .with("load", Json::Num(c.load))
+                    .with("scheme", Json::str(c.scheme))
+                    .with("avg_bytes", Json::Num(c.avg_bytes))
+                    .with("max_bytes", Json::num_u64(c.max_bytes))
+            })
+            .collect();
+        Json::obj().with("cells", Json::Arr(cells))
+    }
+}
+
+/// Registry adapter: drives Table 3 through the [`crate::Experiment`] trait.
+#[derive(Default)]
+pub struct Exp(Config);
+
+impl crate::Experiment for Exp {
+    fn name(&self) -> &str {
+        "table3"
+    }
+    fn describe(&self) -> &str {
+        "queue occupancy"
+    }
+    fn default_config(&mut self) {
+        self.0 = Config::default();
+    }
+    fn paper_scale_config(&mut self) -> bool {
+        self.0 = Config::paper_scale();
+        true
+    }
+    fn set_seed(&mut self, seed: u64) {
+        self.0.seed = seed;
+    }
+    fn run(&self, _trace: Option<Box<dyn xpass_sim::trace::TraceSink>>) -> crate::ExperimentOutput {
+        let r = run(&self.0);
+        crate::ExperimentOutput::new(r.to_string(), r.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

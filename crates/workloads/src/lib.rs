@@ -16,7 +16,7 @@ pub mod patterns;
 
 pub use arrivals::PoissonWorkload;
 pub use dists::{Workload, WorkloadDist};
-pub use patterns::{incast, permutation, shuffle, PartitionAggregate};
+pub use patterns::{incast, parking_lot, permutation, shuffle, PartitionAggregate};
 
 use xpass_net::ids::HostId;
 use xpass_sim::time::SimTime;

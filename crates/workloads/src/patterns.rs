@@ -33,6 +33,31 @@ pub fn permutation(n_hosts: usize, size_bytes: u64, start: SimTime) -> Vec<FlowS
         .collect()
 }
 
+/// Parking-lot traffic (Fig 10) over `Topology::chain(n + 1, 2, ..)`,
+/// which gives switch `i` the hosts `2i` and `2i + 1`: flow 0 spans all
+/// `n` switch-to-switch links (host 0 on the first switch to the upper
+/// host of the last), and cross-flow `i` crosses only link `i` (lower
+/// host of switch `i` to upper host of switch `i + 1`). All flows start
+/// at time zero.
+pub fn parking_lot(n_bottlenecks: usize, size_bytes: u64) -> Vec<FlowSpec> {
+    let n = n_bottlenecks;
+    let mut specs = vec![FlowSpec {
+        src: HostId(0),
+        dst: HostId((2 * n + 1) as u32),
+        size_bytes,
+        start: SimTime::ZERO,
+    }];
+    for i in 0..n {
+        specs.push(FlowSpec {
+            src: HostId((2 * i + 1) as u32),
+            dst: HostId((2 * (i + 1)) as u32),
+            size_bytes,
+            start: SimTime::ZERO,
+        });
+    }
+    specs
+}
+
 /// MapReduce shuffle (Fig 17): `tasks_per_host` tasks on each of `n_hosts`
 /// hosts; every task sends `bytes_per_pair` to every task on every *other*
 /// host. Flow count: `n_hosts · tasks² · (n_hosts − 1)`.

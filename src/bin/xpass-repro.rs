@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! xpass-repro list                    # show available experiments
+//! xpass-repro --list                  # machine-friendly name/description list
 //! xpass-repro fig16                   # run one experiment, print its table
 //! xpass-repro all                     # run everything
 //! xpass-repro fig01 fig10 fig16       # run several experiments
@@ -11,15 +12,21 @@
 //! xpass-repro fig19 --seed 7          # override the experiment RNG seed
 //! xpass-repro fig19 --json out/       # also write out/fig19.json
 //! xpass-repro fig19 --trace t.jsonl   # record a structured event trace
+//! xpass-repro run scenario.json       # run a declarative scenario file
 //! ```
 //!
+//! Every experiment implements the [`Experiment`] trait and is dispatched
+//! through [`registry`](xpass::experiments::registry) — the binary holds no
+//! per-experiment code.
+//!
 //! `--json <dir>` writes one machine-readable record per experiment to
-//! `<dir>/<name>.json`, shaped `{schema, experiment, paper_scale, seed,
-//! payload}`. Experiments with structured output (fig19) emit it as the
-//! payload; the rest embed their text table as `{"text": ...}`.
+//! `<dir>/<name>.json`, shaped `{schema, name, paper_scale, seed,
+//! payload}` with schema `xpass-repro/v1`. The payload is the experiment's
+//! structured result (the same rows as the text table, plus
+//! counters/engine/health where captured).
 //!
 //! `--trace <file>` streams trace events as JSON Lines from experiments
-//! that support tracing (currently fig19).
+//! that support tracing (fig19 and scenarios).
 //!
 //! `--jobs N` runs the selected experiments on up to N worker threads
 //! (one single-threaded engine per experiment). Results are printed and
@@ -30,12 +37,16 @@
 //! (default: calendar, the fast path). Both produce identical results —
 //! the differential test suite pins it — so this flag only exists for
 //! benchmarking and verification.
+//!
+//! `run <file.json...>` executes declarative scenarios (schema
+//! `xpass-scenario/v1`, see `EXPERIMENTS.md` and `examples/scenarios/`)
+//! through the same pipeline: `--seed`, `--json`, `--trace`, and `--jobs`
+//! all apply.
 
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use xpass::experiments as ex;
-use xpass::experiments::parallel;
+use xpass::experiments::{parallel, registry, scenario, Experiment, ExperimentOutput};
 use xpass::sim::event::SchedulerKind;
 use xpass::sim::json::Json;
 use xpass::sim::trace::{JsonlSink, TraceSink};
@@ -50,258 +61,19 @@ struct RunOpts {
     trace: Option<PathBuf>,
 }
 
-/// What one experiment produced: the human text table, plus a structured
-/// payload for `--json` when the experiment has one.
-struct RunOutput {
-    text: String,
-    payload: Option<Json>,
-}
-
-fn text_only(s: String) -> RunOutput {
-    RunOutput {
-        text: s,
-        payload: None,
-    }
-}
-
-struct Experiment {
-    name: &'static str,
-    what: &'static str,
-    /// True when the experiment records `--trace` events.
-    traces: bool,
-    run: fn(&RunOpts) -> RunOutput,
-}
-
-/// `cfg.seed = s` for every config that has a seed, without a trait.
-macro_rules! seeded {
-    ($opts:expr, $cfg:expr) => {{
-        let mut cfg = $cfg;
-        if let Some(s) = $opts.seed {
-            cfg.seed = s;
+/// Apply the CLI options to every selected experiment, through the trait.
+fn configure(exps: &mut [Box<dyn Experiment>], opts: &RunOpts) {
+    for e in exps.iter_mut() {
+        e.default_config();
+        if opts.paper_scale {
+            // Returns false (config untouched) for experiments with no
+            // separate paper scale — silently, matching the old CLI.
+            e.paper_scale_config();
         }
-        cfg
-    }};
-}
-
-fn experiments() -> Vec<Experiment> {
-    vec![
-        Experiment {
-            name: "fig01",
-            what: "queue build-up under partition/aggregate",
-            traces: false,
-            run: |o| {
-                let cfg = if o.paper_scale {
-                    ex::fig01_queue_buildup::Config::paper_scale()
-                } else {
-                    ex::fig01_queue_buildup::Config::default()
-                };
-                let cfg = seeded!(o, cfg);
-                text_only(ex::fig01_queue_buildup::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig02",
-            what: "naive credit vs CUBIC vs DCTCP convergence",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig02_naive_convergence::Config::default());
-                text_only(ex::fig02_naive_convergence::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "table1",
-            what: "network-calculus buffer bounds",
-            traces: false,
-            run: |_| text_only(ex::table1_buffer_bounds::run().to_string()),
-        },
-        Experiment {
-            name: "fig05",
-            what: "ToR buffer requirement vs link speed",
-            traces: false,
-            run: |_| text_only(ex::fig05_buffer_breakdown::run().to_string()),
-        },
-        Experiment {
-            name: "fig06",
-            what: "pacing jitter vs credit-drop fairness",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig06_jitter_fairness::Config::default());
-                text_only(ex::fig06_jitter_fairness::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig08",
-            what: "initial-rate trade-off",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig08_init_rate_tradeoff::Config::default());
-                text_only(ex::fig08_init_rate_tradeoff::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig09",
-            what: "credit queue capacity vs utilization",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig09_credit_queue_capacity::Config::default());
-                text_only(ex::fig09_credit_queue_capacity::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig10",
-            what: "parking-lot utilization",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig10_parking_lot::Config::default());
-                text_only(ex::fig10_parking_lot::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig11",
-            what: "multi-bottleneck fairness",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig11_multi_bottleneck::Config::default());
-                text_only(ex::fig11_multi_bottleneck::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig12",
-            what: "steady-state feedback model",
-            traces: false,
-            run: |_| text_only(ex::fig12_steady_state::run(&Default::default()).to_string()),
-        },
-        Experiment {
-            name: "fig13",
-            what: "five staggered flows trace",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig13_convergence_trace::Config::default());
-                let (a, b) = ex::fig13_convergence_trace::run_both(&cfg);
-                text_only(format!("{a}\n{b}"))
-            },
-        },
-        Experiment {
-            name: "fig14",
-            what: "host model distributions",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig14_host_model::Config::default());
-                text_only(ex::fig14_host_model::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig15",
-            what: "flow scalability",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig15_flow_scalability::Config::default());
-                text_only(ex::fig15_flow_scalability::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig16",
-            what: "convergence time at 10G/100G",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig16_convergence::Config::default());
-                text_only(ex::fig16_convergence::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig17",
-            what: "MapReduce shuffle FCTs",
-            traces: false,
-            run: |o| {
-                let cfg = if o.paper_scale {
-                    ex::fig17_shuffle::Config::paper_scale()
-                } else {
-                    ex::fig17_shuffle::Config::default()
-                };
-                let cfg = seeded!(o, cfg);
-                text_only(ex::fig17_shuffle::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig18",
-            what: "(alpha, w_init) sensitivity",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig18_param_sensitivity::Config::default());
-                text_only(ex::fig18_param_sensitivity::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig19",
-            what: "realistic-workload FCTs",
-            traces: true,
-            run: |o| {
-                let cfg = if o.paper_scale {
-                    ex::fig19_fct::Config::paper_scale()
-                } else {
-                    ex::fig19_fct::Config::default()
-                };
-                let cfg = seeded!(o, cfg);
-                let sink = open_trace(o.trace.as_deref());
-                let (r, sink) = ex::fig19_fct::run_traced(&cfg, sink);
-                drop(sink); // flush
-                RunOutput {
-                    text: r.to_string(),
-                    payload: Some(r.to_json()),
-                }
-            },
-        },
-        Experiment {
-            name: "fig20",
-            what: "credit waste ratio",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig20_credit_waste::Config::default());
-                text_only(ex::fig20_credit_waste::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "fig21",
-            what: "40G-over-10G FCT speed-up",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fig21_speedup::Config::default());
-                text_only(ex::fig21_speedup::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "table3",
-            what: "queue occupancy",
-            traces: false,
-            run: |o| {
-                let cfg = if o.paper_scale {
-                    ex::table3_queue::Config::paper_scale()
-                } else {
-                    ex::table3_queue::Config::default()
-                };
-                let cfg = seeded!(o, cfg);
-                text_only(ex::table3_queue::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "ablations",
-            what: "design-choice ablations",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::ablations::Config::default());
-                text_only(ex::ablations::run(&cfg).to_string())
-            },
-        },
-        Experiment {
-            name: "faults",
-            what: "fault injection: re-convergence after failures",
-            traces: false,
-            run: |o| {
-                let cfg = seeded!(o, ex::fault_recovery::Config::default());
-                text_only(ex::fault_recovery::run(&cfg).to_string())
-            },
-        },
-    ]
+        if let Some(s) = opts.seed {
+            e.set_seed(s);
+        }
+    }
 }
 
 /// Open the `--trace` destination as a boxed sink (or `None`).
@@ -319,14 +91,15 @@ fn open_trace(path: Option<&Path>) -> Option<Box<dyn TraceSink>> {
     }
 }
 
-fn usage(exps: &[Experiment]) -> String {
+fn usage() -> String {
     let mut s = String::from(
         "usage: xpass-repro <experiment...|all|list> [--paper-scale] [--seed <u64>]\n\
          \x20                 [--json <dir>] [--trace <file>] [--jobs <n>]\n\
-         \x20                 [--scheduler heap|calendar]\n\nexperiments:\n",
+         \x20                 [--scheduler heap|calendar]\n\
+         \x20      xpass-repro run <scenario.json...> [same flags]\n\nexperiments:\n",
     );
-    for e in exps {
-        s.push_str(&format!("  {:<10} {}\n", e.name, e.what));
+    for e in registry::all() {
+        s.push_str(&format!("  {:<10} {}\n", e.name(), e.describe()));
     }
     s
 }
@@ -334,18 +107,14 @@ fn usage(exps: &[Experiment]) -> String {
 /// Write `<dir>/<name>.json`: the experiment's machine-readable record.
 fn write_json_record(
     dir: &Path,
-    e: &Experiment,
+    e: &dyn Experiment,
     opts: &RunOpts,
-    out: &RunOutput,
+    out: &ExperimentOutput,
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
-    let payload = match &out.payload {
-        Some(p) => p.clone(),
-        None => Json::obj().with("text", Json::str(&out.text)),
-    };
     let record = Json::obj()
         .with("schema", Json::str("xpass-repro/v1"))
-        .with("experiment", Json::str(e.name))
+        .with("name", Json::str(e.name()))
         .with("paper_scale", Json::Bool(opts.paper_scale))
         .with(
             "seed",
@@ -354,8 +123,8 @@ fn write_json_record(
                 None => Json::Null,
             },
         )
-        .with("payload", payload);
-    let path = dir.join(format!("{}.json", e.name));
+        .with("payload", out.json.clone());
+    let path = dir.join(format!("{}.json", e.name()));
     std::fs::write(&path, format!("{record}\n"))?;
     Ok(path)
 }
@@ -365,7 +134,7 @@ fn write_json_record(
 /// records **in selection order**, so output bytes are independent of the
 /// job count and of thread scheduling.
 fn run_selected(
-    selected: &[&Experiment],
+    selected: &[Box<dyn Experiment>],
     opts: &RunOpts,
     json_dir: Option<&Path>,
     jobs: usize,
@@ -374,23 +143,31 @@ fn run_selected(
 ) -> bool {
     if opts.trace.is_some() {
         for e in selected {
-            if !e.traces {
+            if !e.traces() {
                 eprintln!(
                     "xpass-repro: note: {} does not record traces; --trace ignored",
-                    e.name
+                    e.name()
                 );
             }
         }
     }
-    let outputs = parallel::run_indexed(selected.to_vec(), jobs, scheduler, |_, e| (e.run)(opts));
+    let refs: Vec<&dyn Experiment> = selected.iter().map(Box::as_ref).collect();
+    let outputs = parallel::run_indexed(refs, jobs, scheduler, |_, e| {
+        let sink = if e.traces() {
+            open_trace(opts.trace.as_deref())
+        } else {
+            None
+        };
+        e.run(sink)
+    });
     let mut ok = true;
     for (e, out) in selected.iter().zip(&outputs) {
         if banners {
-            println!("==== {} — {} ====", e.name, e.what);
+            println!("==== {} — {} ====", e.name(), e.describe());
         }
         println!("{}", out.text);
         if let Some(dir) = json_dir {
-            match write_json_record(dir, e, opts, out) {
+            match write_json_record(dir, e.as_ref(), opts, out) {
                 Ok(path) => eprintln!("xpass-repro: wrote {}", path.display()),
                 Err(err) => {
                     eprintln!("xpass-repro: cannot write JSON record: {err}");
@@ -402,8 +179,15 @@ fn run_selected(
     ok
 }
 
+fn exit(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let exps = experiments();
     let mut args = env::args().skip(1);
     let mut opts = RunOpts {
         paper_scale: false,
@@ -412,16 +196,18 @@ fn main() -> ExitCode {
     };
     let mut json_dir: Option<PathBuf> = None;
     let mut jobs: usize = 1;
+    let mut list = false;
     let mut scheduler = SchedulerKind::default();
     let mut targets: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper-scale" => opts.paper_scale = true,
+            "--list" => list = true,
             "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(s) => opts.seed = Some(s),
                 None => {
                     eprintln!("xpass-repro: --seed needs an unsigned integer\n");
-                    eprint!("{}", usage(&exps));
+                    eprint!("{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -429,7 +215,7 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => jobs = n,
                 _ => {
                     eprintln!("xpass-repro: --jobs needs an integer >= 1\n");
-                    eprint!("{}", usage(&exps));
+                    eprint!("{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -437,7 +223,7 @@ fn main() -> ExitCode {
                 Some(k) => scheduler = k,
                 None => {
                     eprintln!("xpass-repro: --scheduler needs 'heap' or 'calendar'\n");
-                    eprint!("{}", usage(&exps));
+                    eprint!("{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -445,7 +231,7 @@ fn main() -> ExitCode {
                 Some(d) => json_dir = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("xpass-repro: --json needs an output directory\n");
-                    eprint!("{}", usage(&exps));
+                    eprint!("{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -453,57 +239,93 @@ fn main() -> ExitCode {
                 Some(f) => opts.trace = Some(PathBuf::from(f)),
                 None => {
                     eprintln!("xpass-repro: --trace needs an output file\n");
-                    eprint!("{}", usage(&exps));
+                    eprint!("{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
             f if f.starts_with("--") => {
                 eprintln!("xpass-repro: unknown flag '{f}'\n");
-                eprint!("{}", usage(&exps));
+                eprint!("{}", usage());
                 return ExitCode::FAILURE;
             }
             t => targets.push(t.to_string()),
         }
     }
 
+    if list {
+        for e in registry::all() {
+            println!("{:<10} {}", e.name(), e.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
     match targets.first().map(|s| s.as_str()) {
         None | Some("list") | Some("help") => {
-            print!("{}", usage(&exps));
+            print!("{}", usage());
             ExitCode::SUCCESS
         }
-        Some("all") if targets.len() == 1 => {
-            let selected: Vec<&Experiment> = exps.iter().collect();
-            if run_selected(&selected, &opts, json_dir.as_deref(), jobs, scheduler, true) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+        Some("run") => {
+            let files = &targets[1..];
+            if files.is_empty() {
+                eprintln!("xpass-repro: run needs at least one scenario file\n");
+                eprint!("{}", usage());
+                return ExitCode::FAILURE;
             }
-        }
-        Some(_) => {
-            let mut selected: Vec<&Experiment> = Vec::with_capacity(targets.len());
-            for name in &targets {
-                match exps.iter().find(|e| e.name == name.as_str()) {
-                    Some(e) => selected.push(e),
-                    None => {
-                        eprintln!("xpass-repro: unknown experiment '{name}'\n");
-                        eprint!("{}", usage(&exps));
+            let mut selected: Vec<Box<dyn Experiment>> = Vec::with_capacity(files.len());
+            for f in files {
+                match scenario::load(Path::new(f)) {
+                    Ok(exp) => selected.push(Box::new(exp)),
+                    Err(e) => {
+                        eprintln!("xpass-repro: {e}");
                         return ExitCode::FAILURE;
                     }
                 }
             }
+            configure(&mut selected, &opts);
             let banners = selected.len() > 1;
-            if run_selected(
+            exit(run_selected(
                 &selected,
                 &opts,
                 json_dir.as_deref(),
                 jobs,
                 scheduler,
                 banners,
-            ) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+            ))
+        }
+        Some("all") if targets.len() == 1 => {
+            let mut selected = registry::all();
+            configure(&mut selected, &opts);
+            exit(run_selected(
+                &selected,
+                &opts,
+                json_dir.as_deref(),
+                jobs,
+                scheduler,
+                true,
+            ))
+        }
+        Some(_) => {
+            let mut selected: Vec<Box<dyn Experiment>> = Vec::with_capacity(targets.len());
+            for name in &targets {
+                match registry::find(name) {
+                    Some(e) => selected.push(e),
+                    None => {
+                        eprintln!("xpass-repro: unknown experiment '{name}'\n");
+                        eprint!("{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
+            configure(&mut selected, &opts);
+            let banners = selected.len() > 1;
+            exit(run_selected(
+                &selected,
+                &opts,
+                json_dir.as_deref(),
+                jobs,
+                scheduler,
+                banners,
+            ))
         }
     }
 }

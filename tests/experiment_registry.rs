@@ -1,0 +1,193 @@
+//! Registry-driven pipeline test: every registered experiment runs through
+//! the real CLI with `--json`, and every record parses back with the
+//! hand-rolled JSON reader and carries the `xpass-repro/v1` envelope. Also
+//! pins the scenario layer: the committed parking-lot scenario reproduces
+//! `fig10` byte-for-byte, and the fat-tree fault scenario expresses a
+//! configuration no built-in experiment covers.
+
+use std::path::Path;
+use std::process::Command;
+use xpass::experiments::registry;
+use xpass::sim::json::{parse, Json};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xpass-repro"))
+}
+
+fn read_record(dir: &Path, name: &str) -> Json {
+    let path = dir.join(format!("{name}.json"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    parse(&text).unwrap_or_else(|e| panic!("{name}.json does not parse: {e}"))
+}
+
+#[test]
+fn every_registered_experiment_emits_a_valid_json_record() {
+    let dir = std::env::temp_dir().join(format!("xpass-registry-{}", std::process::id()));
+    let out = bin()
+        .args(["all", "--seed", "5", "--jobs", "8", "--json"])
+        .arg(&dir)
+        .output()
+        .expect("run xpass-repro all");
+    assert!(out.status.success(), "xpass-repro all failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    let names: Vec<String> = registry::all()
+        .iter()
+        .map(|e| e.name().to_string())
+        .collect();
+    assert!(!names.is_empty());
+    for name in &names {
+        // Banner printed for every experiment, in canonical order.
+        assert!(
+            stdout.contains(&format!("==== {name} — ")),
+            "no banner for {name}"
+        );
+        let record = read_record(&dir, name);
+        assert_eq!(
+            record.get("schema").and_then(Json::as_str),
+            Some("xpass-repro/v1"),
+            "{name}: bad schema"
+        );
+        assert_eq!(
+            record.get("name").and_then(Json::as_str),
+            Some(name.as_str()),
+            "{name}: bad name field"
+        );
+        assert_eq!(
+            record.get("paper_scale").and_then(Json::as_bool),
+            Some(false),
+            "{name}: bad paper_scale"
+        );
+        assert_eq!(
+            record.get("seed").and_then(Json::as_u64),
+            Some(5),
+            "{name}: seed not recorded"
+        );
+        // Every payload is a structured object with at least one key — the
+        // typed rows of the figure, never a text blob.
+        match record.get("payload") {
+            Some(Json::Obj(pairs)) => {
+                assert!(!pairs.is_empty(), "{name}: empty payload");
+                assert!(
+                    pairs.iter().all(|(k, _)| k != "text"),
+                    "{name}: payload fell back to a text blob"
+                );
+            }
+            other => panic!("{name}: payload is not an object: {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parking_lot_scenario_reproduces_fig10_byte_for_byte() {
+    let scenario = bin()
+        .args(["run", "examples/scenarios/parking_lot.json"])
+        .output()
+        .expect("run scenario");
+    assert!(
+        scenario.status.success(),
+        "scenario run failed: {scenario:?}"
+    );
+    let fig10 = bin().arg("fig10").output().expect("run fig10");
+    assert!(fig10.status.success());
+    assert_eq!(
+        scenario.stdout,
+        fig10.stdout,
+        "scenario table differs from fig10:\n--- scenario ---\n{}\n--- fig10 ---\n{}",
+        String::from_utf8_lossy(&scenario.stdout),
+        String::from_utf8_lossy(&fig10.stdout)
+    );
+}
+
+#[test]
+fn fat_tree_fault_scenario_runs_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("xpass-scenario-{}", std::process::id()));
+    let out = bin()
+        .args([
+            "run",
+            "examples/scenarios/fat_tree_shuffle_faults.json",
+            "--json",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run scenario");
+    assert!(out.status.success(), "scenario run failed: {out:?}");
+    let record = read_record(&dir, "fat_tree_shuffle_faults");
+    assert_eq!(
+        record.get("schema").and_then(Json::as_str),
+        Some("xpass-repro/v1")
+    );
+    let series = record
+        .get("payload")
+        .and_then(|p| p.get("series"))
+        .and_then(Json::as_array)
+        .expect("payload.series");
+    assert_eq!(series.len(), 2);
+    assert_eq!(
+        series[1].get("scheme").and_then(Json::as_str),
+        Some("DCTCP")
+    );
+    for s in series {
+        // All shuffle flows finish despite the mid-run core cable failure…
+        assert_eq!(s.get("unfinished").and_then(Json::as_u64), Some(0));
+        let counters = s.get("counters").expect("counters");
+        // …and the fault plan demonstrably fired: 2 cable events × 2
+        // directed links, with real packet loss attributed to them.
+        assert_eq!(
+            counters.get("faults_injected").and_then(Json::as_u64),
+            Some(4)
+        );
+        assert!(
+            counters
+                .get("pkts_lost_to_faults")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_rejects_unknown_experiment_and_bad_scenarios() {
+    let out = bin().arg("fig99").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment 'fig99'"), "{err}");
+    assert!(
+        err.contains("fig10"),
+        "usage should list experiments: {err}"
+    );
+
+    let out = bin()
+        .args(["run", "/nonexistent/scenario.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read scenario file"), "{err}");
+
+    let bad = std::env::temp_dir().join(format!("xpass-bad-{}.json", std::process::id()));
+    std::fs::write(&bad, "{\"schema\": \"nope\"}").unwrap();
+    let out = bin().arg("run").arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unsupported schema"), "{err}");
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
+fn list_flag_names_every_experiment() {
+    let out = bin().arg("--list").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for e in registry::all() {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(e.name()))
+            .unwrap_or_else(|| panic!("--list missing {}", e.name()));
+        assert!(line.contains(e.describe()), "bad --list line: {line}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Determinism fence: the text tables of representative experiments are
+//! byte-identical to goldens captured before the Experiment-trait refactor
+//! (`tests/golden/*.txt`, default seeds and scaled-down configs). Any drift
+//! in simulation results, formatting, or CLI plumbing fails here first.
+//!
+//! To regenerate after an *intentional* change:
+//! `cargo run --bin xpass-repro -- <name> > tests/golden/<name>.txt`
+
+use std::process::Command;
+
+fn run(name: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_xpass-repro"))
+        .arg(name)
+        .output()
+        .expect("run xpass-repro");
+    assert!(out.status.success(), "xpass-repro {name} failed: {out:?}");
+    out.stdout
+}
+
+fn check(name: &str) {
+    let golden = std::fs::read(format!("tests/golden/{name}.txt")).expect("read golden");
+    let now = run(name);
+    assert_eq!(
+        now,
+        golden,
+        "{name} output drifted from tests/golden/{name}.txt:\n--- golden ---\n{}\n--- now ---\n{}",
+        String::from_utf8_lossy(&golden),
+        String::from_utf8_lossy(&now)
+    );
+}
+
+#[test]
+fn fig01_matches_golden() {
+    check("fig01");
+}
+
+#[test]
+fn fig10_matches_golden() {
+    check("fig10");
+}
+
+#[test]
+fn fig16_matches_golden() {
+    check("fig16");
+}
+
+#[test]
+fn faults_matches_golden() {
+    check("faults");
+}

@@ -238,14 +238,16 @@ fn repro_json_record_round_trips() {
     let _ = std::fs::remove_dir_all(&dir);
     let j = json::parse(&text).expect("record parses");
     assert_eq!(j.get("schema").unwrap().as_str(), Some("xpass-repro/v1"));
-    assert_eq!(j.get("experiment").unwrap().as_str(), Some("fig12"));
+    assert_eq!(j.get("name").unwrap().as_str(), Some("fig12"));
     assert_eq!(j.get("paper_scale").unwrap().as_bool(), Some(false));
     assert_eq!(j.get("seed").unwrap().as_u64(), Some(5));
-    // Text-only experiments embed the printed table.
+    // Every experiment now emits a structured payload, never a text blob;
+    // fig12's carries its utilization trace and convergence summary.
     let payload = j.get("payload").unwrap();
-    let table = payload.get("text").unwrap().as_str().unwrap();
-    assert!(table.contains("Fig 12"));
-    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), table.trim());
+    assert!(payload.get("text").is_none(), "payload fell back to text");
+    assert!(payload.get("trace").is_some());
+    assert!(payload.get("converged_at").is_some());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Fig 12"));
 }
 
 #[test]
