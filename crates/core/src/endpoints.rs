@@ -189,6 +189,12 @@ impl Endpoint for XPassSender {
             timer::SYN_RTX if self.syn_slot.matches(gen) => {
                 if self.stopped || ctx.flow_done() || ctx.flow_aborted() {
                     // Settled while the timer was in flight; nothing to do.
+                } else if ctx.local_paused() || ctx.peer_paused() {
+                    // A HostPause fault is deliberately freezing one of our
+                    // hosts: unreachability is injected, not a dead peer.
+                    // Keep the flow alive (without burning attempts) and
+                    // re-probe after the pause lifts.
+                    self.syn_slot.arm(ctx, timer::SYN_RTX, self.cfg.syn_rtx_cap);
                 } else if self.syn_attempts >= self.cfg.syn_rtx_max {
                     // Connection establishment failed: the receiver is
                     // unreachable (blackholed path, dead host). Give up so
@@ -521,6 +527,12 @@ impl Endpoint for XPassReceiver {
                 // Stall detector, piggybacked on the update cadence so
                 // it adds no events of its own: no delivery progress
                 // for a full stall timeout flags the flow's record.
+                // While a HostPause fault freezes either host the lack of
+                // progress is injected, not a protocol stall: hold the
+                // stall clock so it restarts when the pause lifts.
+                if ctx.local_paused() || ctx.peer_paused() {
+                    self.last_progress = ctx.now();
+                }
                 if !self.stall_flagged
                     && !ctx.flow_done()
                     && ctx.now().since(self.last_progress) >= self.cfg.stall_timeout

@@ -30,6 +30,7 @@
 //! | [`table3_queue`] | Table 3 — queue occupancy by scheme/workload/load |
 //! | [`ablations`] | design-choice ablations (drop policy, routing, §7 features) |
 //! | [`fault_recovery`] | robustness — re-convergence after injected faults |
+//! | [`chaos`] | robustness — random fault schedules vs conservation + liveness |
 
 //!
 //! Every module also exposes an `Exp` adapter implementing the
@@ -39,6 +40,7 @@
 
 #![warn(missing_docs)]
 pub mod ablations;
+pub mod chaos;
 pub mod experiment;
 pub mod fault_recovery;
 pub mod fig01_queue_buildup;

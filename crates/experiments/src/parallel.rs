@@ -13,8 +13,10 @@
 //! onto the calling thread for the inline `jobs <= 1` path) so a run under
 //! `--scheduler heap --jobs 8` really does use the heap everywhere.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use xpass_sim::event::{set_thread_scheduler, SchedulerKind};
 
 /// Run `f(index, input)` for every input and return the results in input
@@ -63,6 +65,64 @@ where
         .collect()
 }
 
+/// Outcome of one isolated job run by [`run_isolated`].
+#[derive(Debug)]
+pub struct JobResult<R> {
+    /// The job's return value, or the panic message when it unwound.
+    pub result: Result<R, String>,
+    /// Wall-clock time the job took.
+    pub wall: Duration,
+    /// True when the job finished but blew through the wall-clock budget.
+    /// Budgets are post-hoc — a scoped thread cannot be killed, so an
+    /// over-budget job still runs to completion (true in-run hang
+    /// protection is the simulator watchdog); the flag lets the driver
+    /// report it and fail the batch.
+    pub over_budget: bool,
+}
+
+impl<R> JobResult<R> {
+    /// Did this job finish normally and within budget?
+    pub fn ok(&self) -> bool {
+        self.result.is_ok() && !self.over_budget
+    }
+}
+
+/// Like [`run_indexed`], but each job is isolated: a panicking job is
+/// caught and reported as `Err(message)` in its slot instead of tearing
+/// down the whole batch, and each job's wall-clock time is measured
+/// against an optional `budget`. Results remain in input order.
+pub fn run_isolated<T, R, F>(
+    inputs: Vec<T>,
+    jobs: usize,
+    scheduler: SchedulerKind,
+    budget: Option<Duration>,
+    f: F,
+) -> Vec<JobResult<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_indexed(inputs, jobs, scheduler, |i, x| {
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| f(i, x))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            }
+        });
+        let wall = start.elapsed();
+        JobResult {
+            result,
+            wall,
+            over_budget: budget.is_some_and(|b| wall > b),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +163,45 @@ mod tests {
     fn empty_input_returns_empty() {
         let r: Vec<u32> = run_indexed(Vec::<u32>::new(), 4, SchedulerKind::Calendar, |_, x| x);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_sink_the_batch() {
+        // Quiet the default panic hook: the unwinds here are deliberate.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = run_isolated(vec![1, 2, 3], 4, SchedulerKind::Calendar, None, |_, x| {
+            if x == 2 {
+                panic!("boom on {x}");
+            }
+            x * 10
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].result.as_ref().unwrap(), &10);
+        assert_eq!(r[1].result.as_ref().unwrap_err(), "boom on 2");
+        assert!(!r[1].ok());
+        assert_eq!(r[2].result.as_ref().unwrap(), &30);
+        assert!(r[0].ok() && r[2].ok());
+    }
+
+    #[test]
+    fn over_budget_jobs_are_flagged_but_complete() {
+        let budget = Some(Duration::from_nanos(1));
+        let r = run_isolated(vec![0u64; 2], 1, SchedulerKind::Calendar, budget, |_, _| {
+            // Any real work exceeds a 1 ns budget.
+            std::thread::sleep(Duration::from_millis(2));
+            7u64
+        });
+        assert!(r.iter().all(|j| j.result.is_ok()), "jobs still complete");
+        assert!(r.iter().all(|j| j.over_budget && !j.ok()));
+    }
+
+    #[test]
+    fn in_budget_jobs_are_ok() {
+        let budget = Some(Duration::from_secs(3600));
+        let r = run_isolated(vec![1u32], 1, SchedulerKind::Calendar, budget, |_, x| x);
+        assert!(r[0].ok());
+        assert!(r[0].wall <= Duration::from_secs(3600));
     }
 }

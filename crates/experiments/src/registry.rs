@@ -32,6 +32,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::<crate::table3_queue::Exp>::default(),
         Box::<crate::ablations::Exp>::default(),
         Box::<crate::fault_recovery::Exp>::default(),
+        Box::<crate::chaos::Exp>::default(),
     ]
 }
 
@@ -48,8 +49,8 @@ mod tests {
     fn canonical_order_and_unique_names() {
         let names: Vec<String> = all().iter().map(|e| e.name().to_string()).collect();
         assert_eq!(names.first().map(String::as_str), Some("fig01"));
-        assert_eq!(names.last().map(String::as_str), Some("faults"));
-        assert_eq!(names.len(), 22);
+        assert_eq!(names.last().map(String::as_str), Some("chaos_sweep"));
+        assert_eq!(names.len(), 23);
         let mut sorted = names.clone();
         sorted.sort();
         sorted.dedup();

@@ -21,7 +21,11 @@
 //!   `poisson` (a Table-2 workload at a target load).
 //! * `faults` — optional timed fault events resolved against the topology
 //!   (`cable_down`/`cable_up`/`link_down`/`link_up`/`set_loss`/
-//!   `host_pause`/`host_resume`).
+//!   `host_pause`/`host_resume`), **or** a generated chaos schedule:
+//!   `{"$chaos": {"seed": N, "intensity": X}}` samples a seeded random
+//!   fault plan ([`chaos::generate`](crate::chaos::generate)) against each
+//!   resolved topology, with every episode healing inside the measure
+//!   horizon.
 //! * `invariants` — optional monitors (`data_queue_bound_bytes`,
 //!   `zero_data_loss`) installed into every run.
 //! * `measure` — `min_link_utilization` (requires a swept chain; renders
@@ -32,6 +36,7 @@
 //! topology is built and every fault reference resolved — so execution
 //! cannot fail halfway through a run.
 
+use crate::chaos::ChaosSpec;
 use crate::fig10_parking_lot::min_chain_utilization;
 use crate::harness::{fmt_secs, text_table, FctBuckets, Scheme};
 use std::fmt;
@@ -73,34 +78,53 @@ impl std::error::Error for ScenarioError {}
 
 // ---------------------------------------------------------------- parsing
 
+/// Compact rendering of an offending JSON value for error messages, so a
+/// type mismatch reports what the file actually said (`faults[2].at_ms:
+/// must be a number, got "late"`). Long values are truncated — the path
+/// is the locator, the value is just a hint.
+fn got(v: &Json) -> String {
+    let s = v.to_string();
+    match s.char_indices().nth(40) {
+        Some((i, _)) => format!("{}…", &s[..i]),
+        None => s,
+    }
+}
+
 fn req<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, ScenarioError> {
     j.get(key)
-        .ok_or_else(|| ScenarioError::new(format!("{ctx}: missing required key '{key}'")))
+        .ok_or_else(|| ScenarioError::new(format!("{ctx}.{key}: missing required key")))
 }
 
 fn req_str<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a str, ScenarioError> {
-    req(j, key, ctx)?
-        .as_str()
-        .ok_or_else(|| ScenarioError::new(format!("{ctx}: '{key}' must be a string")))
+    let v = req(j, key, ctx)?;
+    v.as_str()
+        .ok_or_else(|| ScenarioError::new(format!("{ctx}.{key}: must be a string, got {}", got(v))))
 }
 
 fn req_u64(j: &Json, key: &str, ctx: &str) -> Result<u64, ScenarioError> {
-    req(j, key, ctx)?
-        .as_u64()
-        .ok_or_else(|| ScenarioError::new(format!("{ctx}: '{key}' must be a non-negative integer")))
+    let v = req(j, key, ctx)?;
+    v.as_u64().ok_or_else(|| {
+        ScenarioError::new(format!(
+            "{ctx}.{key}: must be a non-negative integer, got {}",
+            got(v)
+        ))
+    })
 }
 
 fn req_f64(j: &Json, key: &str, ctx: &str) -> Result<f64, ScenarioError> {
-    req(j, key, ctx)?
-        .as_f64()
-        .ok_or_else(|| ScenarioError::new(format!("{ctx}: '{key}' must be a number")))
+    let v = req(j, key, ctx)?;
+    v.as_f64()
+        .ok_or_else(|| ScenarioError::new(format!("{ctx}.{key}: must be a number, got {}", got(v))))
 }
 
 fn opt_u64(j: &Json, key: &str, ctx: &str) -> Result<Option<u64>, ScenarioError> {
     match j.get(key) {
         None => Ok(None),
         Some(v) => v.as_u64().map(Some).ok_or_else(|| {
-            ScenarioError::new(format!("{ctx}: '{key}' must be a non-negative integer"))
+            ScenarioError::new(format!(
+                "{ctx}.{key}: must be a non-negative integer, got {}",
+                got(v)
+            ))
         }),
     }
 }
@@ -108,9 +132,9 @@ fn opt_u64(j: &Json, key: &str, ctx: &str) -> Result<Option<u64>, ScenarioError>
 fn opt_bool(j: &Json, key: &str, ctx: &str) -> Result<bool, ScenarioError> {
     match j.get(key) {
         None => Ok(false),
-        Some(v) => v
-            .as_bool()
-            .ok_or_else(|| ScenarioError::new(format!("{ctx}: '{key}' must be a boolean"))),
+        Some(v) => v.as_bool().ok_or_else(|| {
+            ScenarioError::new(format!("{ctx}.{key}: must be a boolean, got {}", got(v)))
+        }),
     }
 }
 
@@ -143,7 +167,8 @@ fn parse_dim(j: &Json, key: &str, ctx: &str) -> Result<Dim, ScenarioError> {
         return Ok(Dim::Sweep);
     }
     Err(ScenarioError::new(format!(
-        "{ctx}: '{key}' must be an integer or the string \"$sweep\""
+        "{ctx}.{key}: must be an integer or the string \"$sweep\", got {}",
+        got(v)
     )))
 }
 
@@ -423,7 +448,8 @@ fn parse_node_ref(j: &Json, key: &str, ctx: &str) -> Result<NodeRef, ScenarioErr
         return Ok(NodeRef::Host(i));
     }
     Err(ScenarioError::new(format!(
-        "{ctx}: '{key}' must be an object {{\"switch\": N}} or {{\"host\": N}}"
+        "{ctx}.{key}: must be an object {{\"switch\": N}} or {{\"host\": N}}, got {}",
+        got(v)
     )))
 }
 
@@ -465,13 +491,21 @@ struct FaultSpec {
     action: FaultAction,
 }
 
+/// The scenario's fault schedule: an explicit event list, or a `$chaos`
+/// generator spec sampled per resolved topology at build time.
+#[derive(Clone, Debug)]
+enum FaultsSpec {
+    List(Vec<FaultSpec>),
+    Chaos(ChaosSpec),
+}
+
 fn parse_fault(j: &Json, idx: usize) -> Result<FaultSpec, ScenarioError> {
     let ctx = format!("faults[{idx}]");
     let ctx = ctx.as_str();
     let at_ms = req_f64(j, "at_ms", ctx)?;
     if !(at_ms >= 0.0 && at_ms.is_finite()) {
         return Err(ScenarioError::new(format!(
-            "{ctx}: 'at_ms' must be a finite non-negative number"
+            "{ctx}.at_ms: must be a finite non-negative number, got {at_ms}"
         )));
     }
     let at = Dur::from_secs_f64(at_ms * 1e-3);
@@ -499,7 +533,7 @@ fn parse_fault(j: &Json, idx: usize) -> Result<FaultSpec, ScenarioError> {
             for (name, p) in [("data", data), ("credit", credit)] {
                 if !(0.0..=1.0).contains(&p) {
                     return Err(ScenarioError::new(format!(
-                        "{ctx}: '{name}' must be a probability in [0, 1]"
+                        "{ctx}.{name}: must be a probability in [0, 1], got {p}"
                     )));
                 }
             }
@@ -629,7 +663,7 @@ struct Scenario {
     sweep: Option<Sweep>,
     series: Vec<SeriesSpec>,
     workload: WorkloadSpec,
-    faults: Vec<FaultSpec>,
+    faults: FaultsSpec,
     invariants: Option<InvariantSpec>,
     measure: MeasureSpec,
 }
@@ -727,14 +761,35 @@ pub fn parse_str(src: &str) -> Result<ScenarioExperiment, ScenarioError> {
     let workload = parse_workload(req(&j, "workload", ctx)?)?;
 
     let faults = match j.get("faults") {
-        None => Vec::new(),
-        Some(f) => f
-            .as_array()
-            .ok_or_else(|| ScenarioError::new(format!("{ctx}: 'faults' must be an array")))?
-            .iter()
-            .enumerate()
-            .map(|(i, f)| parse_fault(f, i))
-            .collect::<Result<Vec<FaultSpec>, _>>()?,
+        None => FaultsSpec::List(Vec::new()),
+        Some(f) => {
+            if let Some(c) = f.get("$chaos") {
+                let ctx = "faults.$chaos";
+                let seed = req_u64(c, "seed", ctx)?;
+                let intensity = req_f64(c, "intensity", ctx)?;
+                if !(0.0..=1.0).contains(&intensity) {
+                    return Err(ScenarioError::new(format!(
+                        "{ctx}.intensity: must be in [0, 1], got {intensity}"
+                    )));
+                }
+                FaultsSpec::Chaos(ChaosSpec { seed, intensity })
+            } else {
+                let list = f
+                    .as_array()
+                    .ok_or_else(|| {
+                        ScenarioError::new(format!(
+                            "{ctx}.faults: must be an array of fault events or a \
+                             {{\"$chaos\": …}} object, got {}",
+                            got(f)
+                        ))
+                    })?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| parse_fault(f, i))
+                    .collect::<Result<Vec<FaultSpec>, _>>()?;
+                FaultsSpec::List(list)
+            }
+        }
     };
 
     let invariants = match j.get("invariants") {
@@ -822,7 +877,22 @@ fn validate(s: &Scenario) -> Result<(), ScenarioError> {
                 topo.name, topo.n_hosts
             )));
         }
-        build_fault_plan(&topo, &s.faults)?;
+        match &s.faults {
+            FaultsSpec::List(list) => {
+                build_fault_plan(&topo, list)?;
+            }
+            FaultsSpec::Chaos(spec) => {
+                if s.chaos_horizon() == Dur::ZERO {
+                    return Err(ScenarioError::new(
+                        "faults.$chaos: requires a positive measure horizon \
+                         (warmup_ms + window_ms, or cap_ms, must be > 0)",
+                    ));
+                }
+                // Sampling is cheap and cannot reference missing links, but
+                // run it here so execution stays infallible by construction.
+                let _ = crate::chaos::generate(&topo, s.chaos_horizon(), spec);
+            }
+        }
     }
     Ok(())
 }
@@ -830,6 +900,16 @@ fn validate(s: &Scenario) -> Result<(), ScenarioError> {
 // -------------------------------------------------------------- execution
 
 impl Scenario {
+    /// The window generated `$chaos` faults start and heal inside: the
+    /// measured portion of the run (faults after it would never be
+    /// observed).
+    fn chaos_horizon(&self) -> Dur {
+        match self.measure {
+            MeasureSpec::MinLinkUtilization { warmup, window } => warmup + window,
+            MeasureSpec::Fct { cap } => cap,
+        }
+    }
+
     /// Build, fault, monitor, and load one network; `sink` is threaded
     /// through for tracing.
     fn build_net(
@@ -847,8 +927,13 @@ impl Scenario {
             self.topo.chain_bottlenecks(sweep),
         );
         let mut net = scheme.build(topo, self.link_bps, seed);
-        let plan = build_fault_plan(net.topo(), &self.faults)
-            .expect("validated: fault refs resolve in every topology");
+        let plan = match &self.faults {
+            FaultsSpec::List(list) => build_fault_plan(net.topo(), list)
+                .expect("validated: fault refs resolve in every topology"),
+            FaultsSpec::Chaos(spec) => {
+                crate::chaos::generate(net.topo(), self.chaos_horizon(), spec)
+            }
+        };
         if !plan.is_empty() {
             net.install_fault_plan(plan);
         }
@@ -1093,6 +1178,49 @@ mod tests {
         assert!(out.text.contains("N=2"));
     }
 
+    const CHAOS_FCT: &str = r#"{
+        "schema": "xpass-scenario/v1",
+        "name": "chaos_dumbbell",
+        "title": "chaos schedule on a dumbbell",
+        "seed": 3,
+        "link_bps": 10000000000,
+        "topology": {"kind": "dumbbell", "pairs": 2, "prop_us": 1},
+        "series": [{"label": "ExpressPass", "scheme": {"kind": "xpass", "profile": "aggressive"}}],
+        "workload": {"kind": "permutation", "bytes": 6000000},
+        "faults": {"$chaos": {"seed": 11, "intensity": 0.5}},
+        "measure": {"kind": "fct", "cap_ms": 6}
+    }"#;
+
+    #[test]
+    fn chaos_faults_generate_and_run() {
+        let exp = parse_str(CHAOS_FCT).unwrap();
+        let out = exp.run(None);
+        let j = xpass_sim::json::parse(&out.json.to_string()).unwrap();
+        let series = j.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 1);
+        // The generated schedule was actually installed and applied.
+        let injected = series[0]
+            .get("counters")
+            .unwrap()
+            .get("faults_injected")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(injected > 0, "chaos plan injected no faults");
+        // Same file, same schedule: the plan is a pure function of the spec.
+        // Counters capture every applied fault and delivered byte; the
+        // engine report also carries wall-clock fields, so compare these.
+        let again = parse_str(CHAOS_FCT).unwrap().run(None);
+        let j2 = xpass_sim::json::parse(&again.json.to_string()).unwrap();
+        let counters = |j: &Json| {
+            j.get("series").unwrap().as_array().unwrap()[0]
+                .get("counters")
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(counters(&j), counters(&j2));
+    }
+
     #[test]
     fn helpful_errors() {
         let cases: &[(&str, &str)] = &[
@@ -1101,6 +1229,11 @@ mod tests {
             (
                 r#"{"schema": "xpass-scenario/v1", "name": "a b"}"#,
                 "'name' must be non-empty",
+            ),
+            (
+                r#"{"schema": "xpass-scenario/v1", "name": "x", "title": "t",
+                    "seed": true}"#,
+                "scenario.seed: must be a non-negative integer, got true",
             ),
         ];
         for (src, want) in cases {
@@ -1137,5 +1270,66 @@ mod tests {
         }"#;
         let err = parse_str(src).unwrap_err().to_string();
         assert!(err.contains("requires a 'sweep'"), "{err}");
+    }
+
+    /// Errors name the JSON path of the offending field and quote the value.
+    #[test]
+    fn errors_carry_json_path_and_value() {
+        let base = r#"{
+            "schema": "xpass-scenario/v1",
+            "name": "p",
+            "title": "t",
+            "seed": 1,
+            "link_bps": 1000000000,
+            "topology": {"kind": "star", "hosts": 3},
+            "series": [{"label": "x", "scheme": {"kind": "dctcp"}}],
+            "workload": {"kind": "permutation", "bytes": 1000},
+            "measure": {"kind": "fct", "cap_ms": 10},
+            "faults": FAULTS
+        }"#;
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"[{"at_ms": 1, "action": "host_pause", "host": 1},
+                    {"at_ms": "late", "action": "host_pause", "host": 1}]"#,
+                r#"faults[1].at_ms: must be a number, got "late""#,
+            ),
+            (
+                r#"[{"at_ms": 1, "action": "set_loss", "data": 1.5, "credit": 0,
+                    "from": {"host": 0}, "to": {"switch": 0}}]"#,
+                "faults[0].data: must be a probability in [0, 1], got 1.5",
+            ),
+            (
+                r#"[{"at_ms": 1, "action": "link_down", "from": 7, "to": {"host": 1}}]"#,
+                r#"faults[0].from: must be an object {"switch": N} or {"host": N}, got 7"#,
+            ),
+            (
+                r#"{"$chaos": {"seed": 1, "intensity": 2.0}}"#,
+                "faults.$chaos.intensity: must be in [0, 1], got 2",
+            ),
+            (
+                r#"{"$chaos": {"intensity": 0.5}}"#,
+                "faults.$chaos.seed: missing required key",
+            ),
+            ("true", "scenario.faults: must be an array of fault events"),
+        ];
+        for (faults, want) in cases {
+            let src = base.replace("FAULTS", faults);
+            let err = parse_str(&src).unwrap_err().to_string();
+            assert!(err.contains(want), "error {err:?} should mention {want:?}");
+        }
+        // Long offending values are truncated so errors stay one line.
+        let src = base.replace(
+            "FAULTS",
+            &format!(
+                r#"[{{"at_ms": "{}", "action": "host_pause", "host": 0}}]"#,
+                "x".repeat(200)
+            ),
+        );
+        let err = parse_str(&src).unwrap_err().to_string();
+        assert!(
+            err.contains("faults[0].at_ms") && err.contains('…'),
+            "{err}"
+        );
+        assert!(err.len() < 120, "not truncated: {err}");
     }
 }

@@ -167,6 +167,26 @@ impl<'a> Ctx<'a> {
         self.net.mark_stalled(self.flow, stalled);
     }
 
+    /// True while this endpoint's own host is frozen by an injected
+    /// `HostPause` fault. Endpoints use this (and
+    /// [`peer_paused`](Self::peer_paused)) to suppress liveness judgements —
+    /// a flow is not *stalled* or *dead* while a fault is deliberately
+    /// holding one of its hosts.
+    pub fn local_paused(&self) -> bool {
+        self.net.host_paused(self.local_host())
+    }
+
+    /// True while the peer endpoint's host is frozen by an injected
+    /// `HostPause` fault.
+    pub fn peer_paused(&self) -> bool {
+        let info = self.info();
+        let peer = match self.side {
+            Side::Sender => info.dst,
+            Side::Receiver => info.src,
+        };
+        self.net.host_paused(peer)
+    }
+
     /// True when a trace sink is installed. Endpoints gate any work needed
     /// only to *build* a trace event behind this, keeping no-sink runs free
     /// of telemetry cost.

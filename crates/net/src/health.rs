@@ -12,6 +12,7 @@
 //! spec installed the checks are a single `is_some()` test and runs are
 //! byte-identical to an unmonitored simulator.
 
+use crate::ledger::LedgerReport;
 use xpass_sim::json::Json;
 use xpass_sim::time::SimTime;
 use xpass_sim::trace::TraceEvent;
@@ -45,12 +46,18 @@ pub struct HealthReport {
     pub loss_violations: u64,
     /// Time of the first data loss.
     pub first_loss: Option<SimTime>,
+    /// Byte/packet conservation snapshot, when a ledger was installed
+    /// ([`Network::install_ledger`](crate::network::Network::install_ledger));
+    /// an unbalanced ledger fails [`ok`](Self::ok).
+    pub ledger: Option<LedgerReport>,
 }
 
 impl HealthReport {
     /// True when every monitored invariant held for the whole run.
     pub fn ok(&self) -> bool {
-        self.queue_violations == 0 && self.loss_violations == 0
+        self.queue_violations == 0
+            && self.loss_violations == 0
+            && self.ledger.as_ref().is_none_or(LedgerReport::balanced)
     }
 
     /// Render as a JSON object.
@@ -81,6 +88,13 @@ impl HealthReport {
                 "first_loss_ps",
                 match self.first_loss {
                     Some(t) => Json::num_u64(t.as_ps()),
+                    None => Json::Null,
+                },
+            )
+            .with(
+                "ledger",
+                match self.ledger.as_ref() {
+                    Some(l) => l.to_json(),
                     None => Json::Null,
                 },
             )

@@ -24,6 +24,9 @@
 //!   implement, plus the `Ctx` handle they act through.
 //! * [`faults`] — deterministic fault-injection schedules: link failures,
 //!   lossy/corrupting links, and host pauses, replayable from the run seed.
+//! * [`ledger`] — global byte/packet conservation ledger proving every
+//!   emitted packet is accounted for (delivered, dropped, fault-lost,
+//!   corrupted, in flight, queued, or stashed).
 //! * [`network`] — the event loop tying everything together.
 //! * [`config`] — per-run knobs (queue capacity, ECN K, credit queue size,
 //!   host jitter model, …).
@@ -34,6 +37,7 @@ pub mod endpoint;
 pub mod faults;
 pub mod health;
 pub mod ids;
+pub mod ledger;
 pub mod network;
 pub mod packet;
 pub mod port;

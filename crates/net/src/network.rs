@@ -21,6 +21,7 @@ use crate::endpoint::{Ctx, Endpoint, EndpointFactory, FlowInfo};
 use crate::faults::{FaultKind, FaultPlan, FaultState, FAULT_RNG_SALT};
 use crate::health::{HealthReport, InvariantSpec, InvariantState};
 use crate::ids::{DLinkId, FlowId, HostId, NodeId, Side};
+use crate::ledger::{Ledger, LedgerEntry, LedgerReport};
 use crate::packet::{Packet, PktKind};
 use crate::port::{EgressPort, TxDecision};
 use crate::queue::{CreditQueue, DataQueue, EcnCfg, PhantomQueue};
@@ -34,6 +35,7 @@ use xpass_sim::rng::Rng;
 use xpass_sim::stats::TimeSeries;
 use xpass_sim::time::{Dur, SimTime};
 use xpass_sim::trace::{TraceEvent, TraceSink};
+use xpass_sim::watchdog::{Watchdog, WatchdogReport, WatchdogSpec};
 
 /// Simulation events.
 enum Ev {
@@ -230,6 +232,17 @@ pub struct Network {
     trace: Option<Box<dyn TraceSink>>,
     /// Invariant monitors; `None` unless installed (same contract).
     invariants: Option<InvariantState>,
+    /// Byte/packet conservation ledger; `None` unless installed (same
+    /// contract — observation-only, never touches RNG or event order).
+    ledger: Option<Ledger>,
+    /// Hang/livelock watchdog; `None` unless installed. Checked after every
+    /// handled event inside the run loops.
+    watchdog: Option<Watchdog>,
+    /// Diagnostic report of the first watchdog trip; the run loops refuse
+    /// to continue once set.
+    watchdog_report: Option<WatchdogReport>,
+    /// Driver-set phase label surfaced in watchdog reports.
+    phase: &'static str,
     /// Events handled per kind (indexed by [`ev_kind_idx`]); always on —
     /// plain counters that cannot affect simulation state.
     ev_counts: [u64; 8],
@@ -319,6 +332,10 @@ impl Network {
             faults: None,
             trace: None,
             invariants: None,
+            ledger: None,
+            watchdog: None,
+            watchdog_report: None,
+            phase: "run",
             ev_counts: [0; 8],
             wall_secs: 0.0,
             counters: Counters::default(),
@@ -475,12 +492,84 @@ impl Network {
 
     /// The invariant monitors' findings. `monitored == false` (and all
     /// counts zero) when [`install_invariants`](Self::install_invariants)
-    /// was never called.
+    /// was never called. When a conservation ledger is installed
+    /// ([`install_ledger`](Self::install_ledger)) its snapshot rides along
+    /// and an unbalanced ledger fails [`HealthReport::ok`].
     pub fn health_report(&self) -> HealthReport {
-        match self.invariants.as_ref() {
+        let mut report = match self.invariants.as_ref() {
             Some(st) => st.report().clone(),
             None => HealthReport::default(),
+        };
+        if self.ledger.is_some() {
+            report.ledger = Some(self.ledger_report());
         }
+        report
+    }
+
+    /// Install the byte/packet conservation ledger (see [`crate::ledger`]).
+    /// Must be called before the network runs: packets already in flight
+    /// would never have been credited to the `emitted` account.
+    pub fn install_ledger(&mut self) {
+        assert_eq!(
+            self.events.events_processed(),
+            0,
+            "install_ledger after the network ran"
+        );
+        self.ledger = Some(Ledger::default());
+    }
+
+    /// Conservation snapshot at the current instant. Panics when no ledger
+    /// was installed; see [`LedgerReport::balanced`] for the invariant.
+    pub fn ledger_report(&self) -> LedgerReport {
+        let l = self.ledger.as_ref().expect("no ledger installed");
+        let mut queued = LedgerEntry::default();
+        for p in &self.ports {
+            queued.pkts += p.data.len_pkts() as u64;
+            queued.bytes += p.data.len_bytes();
+            if let Some(cq) = p.credit.as_ref() {
+                queued.pkts += cq.len() as u64;
+                queued.bytes += cq.len_bytes();
+            }
+        }
+        let mut stashed = LedgerEntry::default();
+        if let Some(st) = self.faults.as_ref() {
+            for pkt in st.stash_rx.iter().chain(st.stash_tx.iter()) {
+                stashed.pkts += 1;
+                stashed.bytes += pkt.size as u64;
+            }
+        }
+        LedgerReport {
+            emitted: l.emitted,
+            delivered: l.delivered,
+            queue_dropped: l.queue_dropped,
+            fault_lost: l.fault_lost,
+            corrupted: l.corrupted,
+            in_flight: l.in_flight,
+            queued,
+            stashed,
+        }
+    }
+
+    /// Arm a hang/livelock watchdog (see [`xpass_sim::watchdog`]). The run
+    /// loops observe it after every handled event and abort on the first
+    /// exceeded budget, leaving a diagnostic in
+    /// [`watchdog_report`](Self::watchdog_report). Replaces any previous
+    /// watchdog and clears a previous trip.
+    pub fn install_watchdog(&mut self, spec: WatchdogSpec) {
+        self.watchdog = Some(Watchdog::new(spec));
+        self.watchdog_report = None;
+    }
+
+    /// Label the current driver phase (e.g. `"warmup"`, `"drain"`) so a
+    /// watchdog trip reports where the run was stuck.
+    pub fn set_phase(&mut self, phase: &'static str) {
+        self.phase = phase;
+    }
+
+    /// The first watchdog trip of this run, if any. `None` means the run
+    /// (so far) stayed within every armed budget.
+    pub fn watchdog_report(&self) -> Option<&WatchdogReport> {
+        self.watchdog_report.as_ref()
     }
 
     /// Engine profile of the run so far: events per kind, peak heap depth,
@@ -529,12 +618,21 @@ impl Network {
 
     // ----- run API ----------------------------------------------------------
 
-    /// Process events until (and including) time `t`; leaves `now == t`.
+    /// Process events until (and including) time `t`; leaves `now == t` —
+    /// unless an installed watchdog trips, in which case the loop aborts at
+    /// the tripping event (see [`watchdog_report`](Self::watchdog_report)).
     pub fn run_until(&mut self, t: SimTime) {
+        if self.watchdog_report.is_some() {
+            return; // a previous trip already aborted this run
+        }
         let wall = std::time::Instant::now();
         while let Some((et, ev)) = self.events.pop_before(t) {
             self.now = et;
             self.handle(ev);
+            if self.watchdog.is_some() && self.watchdog_tripped() {
+                self.wall_secs += wall.elapsed().as_secs_f64();
+                return;
+            }
         }
         self.now = t;
         self.wall_secs += wall.elapsed().as_secs_f64();
@@ -551,6 +649,9 @@ impl Network {
     }
 
     fn run_until_done_loop(&mut self, cap: SimTime) -> SimTime {
+        if self.watchdog_report.is_some() {
+            return self.now; // a previous trip already aborted this run
+        }
         let mut last_done = self.now;
         while self.completed + self.aborted < self.flows.len() {
             match self.events.pop() {
@@ -565,11 +666,44 @@ impl Network {
                     if self.completed + self.aborted > before {
                         last_done = self.now;
                     }
+                    if self.watchdog.is_some() && self.watchdog_tripped() {
+                        return self.now;
+                    }
                 }
                 None => break,
             }
         }
         last_done
+    }
+
+    /// Observe one handled event on the installed watchdog; on a trip,
+    /// record the diagnostic report and tell the run loop to abort. Only
+    /// called with a watchdog installed.
+    fn watchdog_tripped(&mut self) -> bool {
+        let wd = self.watchdog.as_mut().expect("watchdog check without one");
+        let Some(reason) = wd.observe(self.now) else {
+            return false;
+        };
+        let events_observed = wd.events_observed();
+        let (mut hot, mut hot_count) = (0usize, 0u64);
+        for (i, &c) in self.ev_counts.iter().enumerate() {
+            if c > hot_count {
+                hot = i;
+                hot_count = c;
+            }
+        }
+        if self.watchdog_report.is_none() {
+            self.watchdog_report = Some(WatchdogReport {
+                reason,
+                at: self.now,
+                events_observed,
+                queue_len: self.events.len(),
+                phase: self.phase,
+                hottest_event: EV_KIND_NAMES[hot],
+                hottest_count: hot_count,
+            });
+        }
+        true
     }
 
     /// Drain every remaining event up to `cap` (lets protocols wind down
@@ -756,7 +890,17 @@ impl Network {
         self.topo.dlinks[dl.0 as usize].speed_bps
     }
 
+    /// Is this host currently frozen by an injected `HostPause` fault?
+    pub fn host_paused(&self, host: HostId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|st| st.paused[host.0 as usize])
+    }
+
     pub(crate) fn host_emit(&mut self, pkt: Packet) {
+        if let Some(l) = self.ledger.as_mut() {
+            l.emit(pkt.size);
+        }
         if pkt.kind == PktKind::Credit {
             self.counters.credits_sent += 1;
             self.flows[pkt.flow.0 as usize].credits_sent += 1;
@@ -925,11 +1069,16 @@ impl Network {
                 lf.frozen = !flush;
                 if flush {
                     let port = &mut self.ports[dlink.0 as usize];
-                    let mut dropped = port.data.flush(now);
+                    let (mut pkts, mut bytes) = port.data.flush_counted(now);
                     if let Some(cq) = port.credit.as_mut() {
-                        dropped += cq.flush(now);
+                        let (p, b) = cq.flush_counted(now);
+                        pkts += p;
+                        bytes += b;
                     }
-                    self.counters.pkts_lost_to_faults += dropped as u64;
+                    self.counters.pkts_lost_to_faults += pkts as u64;
+                    if let Some(l) = self.ledger.as_mut() {
+                        l.fault_loss_bulk(pkts as u64, bytes);
+                    }
                 }
             }
             FaultKind::LinkUp { dlink } => {
@@ -965,6 +1114,9 @@ impl Network {
                 // Replay in original order: arrivals deliver now, emissions
                 // re-enter the host's uplink queue.
                 for pkt in rx {
+                    if let Some(l) = self.ledger.as_mut() {
+                        l.flight_begin(pkt.size); // leaves the stash account
+                    }
                     self.events.push(now, Ev::HostRx { pkt });
                 }
                 for pkt in tx {
@@ -984,6 +1136,9 @@ impl Network {
         if lf.down {
             // The link died while this packet was in flight on the wire.
             self.counters.pkts_lost_to_faults += 1;
+            if let Some(l) = self.ledger.as_mut() {
+                l.fault_loss(pkt.size);
+            }
             return true;
         }
         let loss_p = if pkt.kind == PktKind::Credit {
@@ -993,16 +1148,25 @@ impl Network {
         };
         if loss_p > 0.0 && st.rng.chance(loss_p) {
             self.counters.pkts_lost_to_faults += 1;
+            if let Some(l) = self.ledger.as_mut() {
+                l.fault_loss(pkt.size);
+            }
             return true;
         }
         if lf.corrupt > 0.0 && st.rng.chance(lf.corrupt) {
             self.counters.pkts_corrupted += 1;
+            if let Some(l) = self.ledger.as_mut() {
+                l.corrupt(pkt.size);
+            }
             return true;
         }
         false
     }
 
     fn on_arrive(&mut self, dlink: DLinkId, pkt: Packet) {
+        if let Some(l) = self.ledger.as_mut() {
+            l.flight_end(pkt.size); // off the wire; refiled below by fate
+        }
         if self.faults.is_some() && self.fault_filter_arrival(dlink, &pkt) {
             return;
         }
@@ -1026,6 +1190,9 @@ impl Network {
                         .collect();
                     if live.is_empty() {
                         self.counters.pkts_lost_to_faults += 1;
+                        if let Some(l) = self.ledger.as_mut() {
+                            l.fault_loss(pkt.size);
+                        }
                         return;
                     }
                     let idx = match self.cfg.routing {
@@ -1051,6 +1218,9 @@ impl Network {
                 let d = self
                     .rng
                     .range_dur(self.cfg.host_delay.min, self.cfg.host_delay.max);
+                if let Some(l) = self.ledger.as_mut() {
+                    l.flight_begin(pkt.size); // host processing delay
+                }
                 self.events.push(self.now + d, Ev::HostRx { pkt });
             }
         }
@@ -1069,6 +1239,9 @@ impl Network {
                 } else {
                     // Hard-down port: arrivals are lost outright.
                     self.counters.pkts_lost_to_faults += 1;
+                    if let Some(l) = self.ledger.as_mut() {
+                        l.fault_loss(pkt.size);
+                    }
                     return;
                 }
             }
@@ -1085,9 +1258,15 @@ impl Network {
                     .credit
                     .as_mut()
                     .expect("credit packet on a network without credit queues");
-                let ok = cq.enqueue(now, pkt, rng);
-                if !ok {
+                let out = cq.enqueue_outcome(now, pkt, rng);
+                let ok = out.dropped_bytes.is_none();
+                if let Some(victim_bytes) = out.dropped_bytes {
                     self.counters.credits_dropped += 1;
+                    // The victim may be an evicted resident of a different
+                    // size than the arrival; charge the actual bytes lost.
+                    if let Some(l) = self.ledger.as_mut() {
+                        l.queue_drop(victim_bytes);
+                    }
                 }
                 if tracing {
                     // `enqueue` returning false means one credit was dropped
@@ -1121,6 +1300,9 @@ impl Network {
                 if !out.accepted {
                     if is_data {
                         self.counters.data_dropped += 1;
+                    }
+                    if let Some(l) = self.ledger.as_mut() {
+                        l.queue_drop(bytes);
                     }
                 } else if out.newly_marked {
                     self.counters.ecn_marked += 1;
@@ -1191,6 +1373,9 @@ impl Network {
             TxDecision::Transmit(pkt) => {
                 let done = port.tx_done_at();
                 let prop = port.prop_delay;
+                if let Some(l) = self.ledger.as_mut() {
+                    l.flight_begin(pkt.size); // leaves the queue, on the wire
+                }
                 self.events.push(done + prop, Ev::Arrive { dlink, pkt });
                 self.events.push(done, Ev::PortWake { dlink });
             }
@@ -1202,11 +1387,19 @@ impl Network {
     }
 
     fn on_host_rx(&mut self, pkt: Packet) {
+        if let Some(l) = self.ledger.as_mut() {
+            l.flight_end(pkt.size);
+        }
         if let Some(st) = self.faults.as_mut() {
             if st.paused[pkt.dst.0 as usize] {
-                st.stash_rx.push(pkt);
+                st.stash_rx.push(pkt); // accounted in the stash snapshot
                 return;
             }
+        }
+        // Absorbed at its terminal host from here on, whether or not the
+        // flow still exists to consume it.
+        if let Some(l) = self.ledger.as_mut() {
+            l.deliver(pkt.size);
         }
         let flow = pkt.flow;
         if (flow.0 as usize) >= self.flows.len() {

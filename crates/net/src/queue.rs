@@ -176,11 +176,18 @@ impl DataQueue {
     /// failure). Returns the number of packets discarded; they are *not*
     /// counted in `stats.dropped`, which tracks tail drops only.
     pub fn flush(&mut self, now: SimTime) -> usize {
+        self.flush_counted(now).0
+    }
+
+    /// [`flush`](Self::flush) also reporting the discarded bytes, so byte
+    /// conservation ledgers can account the lost backlog exactly.
+    pub fn flush_counted(&mut self, now: SimTime) -> (usize, u64) {
         let n = self.q.len();
+        let bytes = self.len_bytes;
         self.q.clear();
         self.len_bytes = 0;
         self.stats.occupancy.set(now, 0.0);
-        n
+        (n, bytes)
     }
 
     /// Current length in bytes.
@@ -226,6 +233,16 @@ pub enum CreditDropPolicy {
     /// keeps per-RTT loss estimates stable — the low-noise behaviour the
     /// paper's deterministically-paced testbed exhibits.
     LongestQueueDrop,
+}
+
+/// What happened to a credit offered to a [`CreditQueue`]: on overflow
+/// exactly one credit dies — the arrival or an evicted resident, whose
+/// sizes can differ under the §3.1 size randomization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CreditEnqueueOutcome {
+    /// Wire bytes of the credit dropped by this enqueue (`None` = clean
+    /// admission, no drop).
+    pub dropped_bytes: Option<u32>,
 }
 
 /// The credit-class queue at an egress port: a tiny buffer (4–8 credits)
@@ -280,32 +297,49 @@ impl CreditQueue {
     /// class is dropped according to [`drop_policy`](Self::drop_policy);
     /// returns `false` iff a drop occurred (the arrival may still have been
     /// admitted at the expense of a resident credit).
-    pub fn enqueue(
+    pub fn enqueue(&mut self, now: SimTime, pkt: Packet, rng: &mut xpass_sim::rng::Rng) -> bool {
+        self.enqueue_outcome(now, pkt, rng).dropped_bytes.is_none()
+    }
+
+    /// [`enqueue`](Self::enqueue) reporting exactly which credit (by size)
+    /// was dropped on overflow. Credit sizes are randomized (84–92 B, §3.1),
+    /// so an evicted resident's size can differ from the arrival's —
+    /// conservation ledgers need the victim's true size.
+    pub fn enqueue_outcome(
         &mut self,
         now: SimTime,
         mut pkt: Packet,
         rng: &mut xpass_sim::rng::Rng,
-    ) -> bool {
+    ) -> CreditEnqueueOutcome {
         let class = (pkt.class as usize).min(self.qs.len() - 1);
         if self.qs[class].len() >= self.cap_pkts {
             self.stats.dropped += 1;
             match self.drop_policy {
-                CreditDropPolicy::Tail => return false,
+                CreditDropPolicy::Tail => {
+                    return CreditEnqueueOutcome {
+                        dropped_bytes: Some(pkt.size),
+                    }
+                }
                 CreditDropPolicy::UniformRandom => {
                     let q = &mut self.qs[class];
                     let victim = rng.index(q.len() + 1);
                     if victim == q.len() {
-                        return false; // the arrival itself is the victim
+                        // The arrival itself is the victim.
+                        return CreditEnqueueOutcome {
+                            dropped_bytes: Some(pkt.size),
+                        };
                     }
                     // Evict the victim and append the arrival at the tail:
                     // FIFO order of surviving credits must be preserved, or
                     // echoed sequence numbers reorder and the receiver
                     // miscounts losses.
-                    q.remove(victim);
+                    let evicted = q.remove(victim).expect("victim index in range");
                     pkt.enq_t = now;
                     q.push_back(pkt);
                     self.stats.enqueued += 1;
-                    return false;
+                    return CreditEnqueueOutcome {
+                        dropped_bytes: Some(evicted.size),
+                    };
                 }
                 CreditDropPolicy::LongestQueueDrop => {
                     let q = &mut self.qs[class];
@@ -322,16 +356,22 @@ impl CreditQueue {
                     }
                     if best_flow == pkt.flow && !q.iter().any(|c| c.flow == pkt.flow) {
                         // Arrival's flow is the (singleton) max: drop it.
-                        return false;
+                        return CreditEnqueueOutcome {
+                            dropped_bytes: Some(pkt.size),
+                        };
                     }
                     // Evict the oldest credit of the most-represented flow.
+                    let mut dropped = pkt.size;
                     if let Some(idx) = q.iter().position(|c| c.flow == best_flow) {
-                        q.remove(idx);
+                        let evicted = q.remove(idx).expect("victim index in range");
+                        dropped = evicted.size;
                         pkt.enq_t = now;
                         q.push_back(pkt);
                         self.stats.enqueued += 1;
                     }
-                    return false;
+                    return CreditEnqueueOutcome {
+                        dropped_bytes: Some(dropped),
+                    };
                 }
             }
         }
@@ -340,7 +380,9 @@ impl CreditQueue {
         self.stats.occupancy.set(now, (self.len() + 1) as f64);
         pkt.enq_t = now;
         self.qs[class].push_back(pkt);
-        true
+        CreditEnqueueOutcome {
+            dropped_bytes: None,
+        }
     }
 
     /// Whether the head credit conforms to the meter right now. Metering is
@@ -378,17 +420,32 @@ impl CreditQueue {
     /// meter (hard port reset). Returns the number discarded; not counted
     /// in `stats.dropped`, which is the congestion signal.
     pub fn flush(&mut self, now: SimTime) -> usize {
+        self.flush_counted(now).0
+    }
+
+    /// [`flush`](Self::flush) also reporting the discarded wire bytes.
+    pub fn flush_counted(&mut self, now: SimTime) -> (usize, u64) {
         let n = self.len();
+        let bytes = self.len_bytes();
         for q in &mut self.qs {
             q.clear();
         }
         self.stats.occupancy.set(now, 0.0);
-        n
+        (n, bytes)
     }
 
     /// Credits currently queued across all classes.
     pub fn len(&self) -> usize {
         self.qs.iter().map(|q| q.len()).sum()
+    }
+
+    /// Wire bytes currently queued across all classes.
+    pub fn len_bytes(&self) -> u64 {
+        self.qs
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|p| p.size as u64)
+            .sum()
     }
 
     /// True when no credits are queued.

@@ -31,6 +31,9 @@
 //!   sink is installed.
 //! * [`profile`] — [`profile::EngineReport`] summarizing engine activity
 //!   (events per kind, peak heap depth, wall-clock events/sec).
+//! * [`watchdog`] — hang/livelock detection: event-count, wall-clock, and
+//!   sim-time-not-advancing budgets that abort a stuck run with a
+//!   diagnostic [`watchdog::WatchdogReport`].
 
 #![warn(missing_docs)]
 pub mod bucket;
@@ -42,6 +45,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod watchdog;
 
 pub use bucket::TokenBucket;
 pub use event::{EventQueue, SchedulerKind};

@@ -33,6 +33,13 @@
 //! written in experiment order regardless of completion order, so stdout
 //! and the `--json` directory are byte-identical for every N.
 //!
+//! Experiments run isolated: a panicking experiment is caught and
+//! reported instead of sinking the batch — the rest still run, the
+//! failures are summarised on stderr, and the process exits non-zero.
+//! `--budget-secs N` additionally fails any experiment whose wall-clock
+//! time exceeds N seconds (it still runs to completion and prints; true
+//! in-run hang protection is the simulator watchdog).
+//!
 //! `--scheduler heap|calendar` selects the event-queue implementation
 //! (default: calendar, the fast path). Both produce identical results —
 //! the differential test suite pins it — so this flag only exists for
@@ -46,6 +53,7 @@
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 use xpass::experiments::{parallel, registry, scenario, Experiment, ExperimentOutput};
 use xpass::sim::event::SchedulerKind;
 use xpass::sim::json::Json;
@@ -95,7 +103,7 @@ fn usage() -> String {
     let mut s = String::from(
         "usage: xpass-repro <experiment...|all|list> [--paper-scale] [--seed <u64>]\n\
          \x20                 [--json <dir>] [--trace <file>] [--jobs <n>]\n\
-         \x20                 [--scheduler heap|calendar]\n\
+         \x20                 [--scheduler heap|calendar] [--budget-secs <n>]\n\
          \x20      xpass-repro run <scenario.json...> [same flags]\n\nexperiments:\n",
     );
     for e in registry::all() {
@@ -133,12 +141,18 @@ fn write_json_record(
 /// scoped worker pool otherwise — then print tables and write `--json`
 /// records **in selection order**, so output bytes are independent of the
 /// job count and of thread scheduling.
+///
+/// Each experiment runs isolated: one panicking (or over-budget)
+/// experiment never sinks the batch. The rest still run and print; the
+/// failures are summarised on stderr at the end and the run exits
+/// non-zero.
 fn run_selected(
     selected: &[Box<dyn Experiment>],
     opts: &RunOpts,
     json_dir: Option<&Path>,
     jobs: usize,
     scheduler: SchedulerKind,
+    budget: Option<Duration>,
     banners: bool,
 ) -> bool {
     if opts.trace.is_some() {
@@ -152,7 +166,7 @@ fn run_selected(
         }
     }
     let refs: Vec<&dyn Experiment> = selected.iter().map(Box::as_ref).collect();
-    let outputs = parallel::run_indexed(refs, jobs, scheduler, |_, e| {
+    let outputs = parallel::run_isolated(refs, jobs, scheduler, budget, |_, e| {
         let sink = if e.traces() {
             open_trace(opts.trace.as_deref())
         } else {
@@ -161,20 +175,49 @@ fn run_selected(
         e.run(sink)
     });
     let mut ok = true;
-    for (e, out) in selected.iter().zip(&outputs) {
+    let mut failures: Vec<String> = Vec::new();
+    for (e, job) in selected.iter().zip(&outputs) {
         if banners {
             println!("==== {} — {} ====", e.name(), e.describe());
         }
-        println!("{}", out.text);
-        if let Some(dir) = json_dir {
-            match write_json_record(dir, e.as_ref(), opts, out) {
-                Ok(path) => eprintln!("xpass-repro: wrote {}", path.display()),
-                Err(err) => {
-                    eprintln!("xpass-repro: cannot write JSON record: {err}");
-                    ok = false;
+        match &job.result {
+            Ok(out) => {
+                println!("{}", out.text);
+                if let Some(dir) = json_dir {
+                    match write_json_record(dir, e.as_ref(), opts, out) {
+                        Ok(path) => eprintln!("xpass-repro: wrote {}", path.display()),
+                        Err(err) => {
+                            eprintln!("xpass-repro: cannot write JSON record: {err}");
+                            ok = false;
+                        }
+                    }
                 }
             }
+            Err(msg) => failures.push(format!("{}: panicked: {msg}", e.name())),
         }
+        if job.over_budget {
+            failures.push(format!(
+                "{}: exceeded the {:?} wall-clock budget (took {:.1?})",
+                e.name(),
+                budget.unwrap_or_default(),
+                job.wall,
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        let n = selected
+            .iter()
+            .zip(&outputs)
+            .filter(|(_, j)| !j.ok())
+            .count();
+        eprintln!(
+            "xpass-repro: {n} of {} experiment(s) failed:",
+            selected.len()
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ok = false;
     }
     ok
 }
@@ -196,6 +239,7 @@ fn main() -> ExitCode {
     };
     let mut json_dir: Option<PathBuf> = None;
     let mut jobs: usize = 1;
+    let mut budget: Option<Duration> = None;
     let mut list = false;
     let mut scheduler = SchedulerKind::default();
     let mut targets: Vec<String> = Vec::new();
@@ -223,6 +267,14 @@ fn main() -> ExitCode {
                 Some(k) => scheduler = k,
                 None => {
                     eprintln!("xpass-repro: --scheduler needs 'heap' or 'calendar'\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--budget-secs" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => budget = Some(Duration::from_secs(n)),
+                _ => {
+                    eprintln!("xpass-repro: --budget-secs needs an integer >= 1\n");
                     eprint!("{}", usage());
                     return ExitCode::FAILURE;
                 }
@@ -289,6 +341,7 @@ fn main() -> ExitCode {
                 json_dir.as_deref(),
                 jobs,
                 scheduler,
+                budget,
                 banners,
             ))
         }
@@ -301,6 +354,7 @@ fn main() -> ExitCode {
                 json_dir.as_deref(),
                 jobs,
                 scheduler,
+                budget,
                 true,
             ))
         }
@@ -324,6 +378,7 @@ fn main() -> ExitCode {
                 json_dir.as_deref(),
                 jobs,
                 scheduler,
+                budget,
                 banners,
             ))
         }

@@ -153,6 +153,54 @@ fn host_pause_defers_completion_until_resume() {
 }
 
 #[test]
+fn paused_peer_is_not_misclassified_as_stalled() {
+    let mut net = xpass_dumbbell(1, 93);
+    let f = net.add_flow(HostId(0), HostId(1), 4_000_000, SimTime::ZERO);
+    // Freeze the receiver mid-transfer for 10 ms — twice the 5 ms stall
+    // timeout. The missing progress is injected by the fault layer, not a
+    // protocol failure, so the flow must never be classified Stalled.
+    net.install_fault_plan(
+        FaultPlan::new()
+            .host_pause(SimTime::ZERO + Dur::us(300), HostId(1))
+            .host_resume(SimTime::ZERO + Dur::ms(10), HostId(1)),
+    );
+    // Probe mid-pause, well past the stall timeout.
+    net.run_until(SimTime::ZERO + Dur::ms(8));
+    let rec = &net.flow_records()[0];
+    assert_eq!(
+        rec.outcome, None,
+        "paused peer misclassified as {:?}",
+        rec.outcome
+    );
+    // And the run still finishes cleanly once the pause lifts.
+    net.run_until_done(SimTime::ZERO + Dur::secs(2));
+    assert!(net.flow_done(f));
+    assert_eq!(net.flow_records()[0].outcome, Some(FlowOutcome::Completed));
+}
+
+#[test]
+fn syn_to_a_paused_peer_survives_past_the_retry_budget() {
+    let mut net = xpass_dumbbell(1, 95);
+    // The receiver is frozen before the flow starts and stays down for
+    // 100 ms — far beyond the SYN retry budget (8 attempts, backoff
+    // capped at 10 ms ≈ 65 ms). The pause must suspend the attempt
+    // counter, not burn it: the flow completes after resume.
+    net.install_fault_plan(
+        FaultPlan::new()
+            .host_pause(SimTime::ZERO, HostId(1))
+            .host_resume(SimTime::ZERO + Dur::ms(100), HostId(1)),
+    );
+    let f = net.add_flow(HostId(0), HostId(1), 1_000_000, SimTime::ZERO + Dur::us(10));
+    let done = net.run_until_done(SimTime::ZERO + Dur::secs(2));
+    assert!(net.flow_done(f), "flow aborted during a host pause");
+    assert_eq!(net.counters().flows_aborted, 0);
+    assert!(
+        done >= SimTime::ZERO + Dur::ms(100),
+        "completed at {done} while the receiver was frozen"
+    );
+}
+
+#[test]
 fn syn_blackhole_aborts_after_bounded_retries() {
     let mut net = xpass_dumbbell(1, 89);
     let uplink = net
