@@ -44,6 +44,17 @@ impl CongestionControl for RenoCc {
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.cwnd = 1.0;
     }
+
+    fn snap_cc(&self, w: &mut xpass_sim::SnapWriter) {
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+    }
+
+    fn restore_cc(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        Ok(())
+    }
 }
 
 /// TCP CUBIC (Ha, Rhee, Xu): the cubic window function
@@ -127,6 +138,25 @@ impl CongestionControl for CubicCc {
         self.ssthresh = (self.cwnd * self.beta).max(2.0);
         self.cwnd = 1.0;
         self.epoch_start = None;
+    }
+
+    fn snap_cc(&self, w: &mut xpass_sim::SnapWriter) {
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+        w.f64(self.w_max);
+        w.opt(self.epoch_start.as_ref(), |w, t| w.u64(t.0));
+        w.f64(self.k);
+        w.f64(self.w_tcp);
+    }
+
+    fn restore_cc(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        self.w_max = r.f64()?;
+        self.epoch_start = r.opt(|r| Ok(SimTime(r.u64()?)))?;
+        self.k = r.f64()?;
+        self.w_tcp = r.f64()?;
+        Ok(())
     }
 }
 

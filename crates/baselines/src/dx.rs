@@ -101,6 +101,23 @@ impl CongestionControl for DxCc {
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.cwnd = 2.0;
     }
+
+    fn snap_cc(&self, w: &mut xpass_sim::SnapWriter) {
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+        w.u64(self.window_end);
+        w.f64(self.q_sum);
+        w.u64(self.q_n);
+    }
+
+    fn restore_cc(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        self.window_end = r.u64()?;
+        self.q_sum = r.f64()?;
+        self.q_n = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Endpoint factory for DX.

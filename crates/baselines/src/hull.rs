@@ -59,6 +59,17 @@ impl CongestionControl for HullCc {
         let rtt = self.srtt.as_secs_f64().max(1e-6);
         Some((self.cwnd() * MAX_FRAME as f64 * 8.0 / rtt).max(1e6))
     }
+
+    fn snap_cc(&self, w: &mut xpass_sim::SnapWriter) {
+        self.inner.snap_cc(w);
+        w.u64(self.srtt.0);
+    }
+
+    fn restore_cc(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.inner.restore_cc(r)?;
+        self.srtt = Dur(r.u64()?);
+        Ok(())
+    }
 }
 
 /// Endpoint factory for HULL at the given link speed. Combine with

@@ -49,6 +49,15 @@ impl CongestionControl for OracleCc {
     fn pacing_bps(&self) -> Option<f64> {
         Some(self.rate_bps)
     }
+
+    fn snap_cc(&self, w: &mut xpass_sim::SnapWriter) {
+        w.f64(self.rate_bps);
+    }
+
+    fn restore_cc(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.rate_bps = r.f64()?;
+        Ok(())
+    }
 }
 
 /// Endpoint factory for oracle-paced flows. Pair with a
@@ -168,6 +177,39 @@ impl Controller for MaxMinOracle {
     fn on_flow_complete(&mut self, net: &mut Network, flow: FlowId) {
         self.active.remove(&flow.0);
         self.apply(net);
+    }
+
+    fn snap_ctl(&self, w: &mut xpass_sim::SnapWriter) {
+        // HashMap iteration order is unspecified: sort by flow id so the
+        // snapshot bytes are identical across processes.
+        let mut flows: Vec<&u32> = self.active.keys().collect();
+        flows.sort_unstable();
+        w.usize(flows.len());
+        for &f in flows {
+            w.u32(f);
+            let path = &self.active[&f];
+            w.usize(path.len());
+            for dl in path {
+                w.u32(dl.0);
+            }
+        }
+    }
+
+    fn restore_ctl(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        r.enter("oracle.active");
+        let n = r.seq_len(8)?;
+        self.active.clear();
+        for _ in 0..n {
+            let f = r.u32()?;
+            let m = r.seq_len(4)?;
+            let mut path = Vec::with_capacity(m);
+            for _ in 0..m {
+                path.push(DLinkId(r.u32()?));
+            }
+            self.active.insert(f, path);
+        }
+        r.leave();
+        Ok(())
     }
 }
 

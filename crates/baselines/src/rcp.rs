@@ -78,6 +78,17 @@ impl CongestionControl for RcpCc {
     fn pacing_bps(&self) -> Option<f64> {
         self.rate_bps
     }
+
+    fn snap_cc(&self, w: &mut xpass_sim::SnapWriter) {
+        w.opt(self.rate_bps.as_ref(), |w, r| w.f64(*r));
+        w.f64(self.srtt_s);
+    }
+
+    fn restore_cc(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.rate_bps = r.opt(|r| r.f64())?;
+        self.srtt_s = r.f64()?;
+        Ok(())
+    }
 }
 
 /// Endpoint factory for RCP. Combine with

@@ -71,6 +71,18 @@ impl Endpoint for UdpBlastSender {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn snap_state(&self, w: &mut xpass_sim::SnapWriter) {
+        use xpass_sim::Snapshot;
+        w.u64(self.next_seq);
+        self.pace.snap(w);
+    }
+
+    fn restore_state(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        use xpass_sim::Restore;
+        self.next_seq = r.u64()?;
+        self.pace.restore(r)
+    }
 }
 
 /// Receiver: counts whatever arrives (datagram semantics — duplicates and
@@ -90,6 +102,15 @@ impl Endpoint for UdpBlastReceiver {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snap_state(&self, _w: &mut xpass_sim::SnapWriter) {}
+
+    fn restore_state(
+        &mut self,
+        _r: &mut xpass_sim::SnapReader,
+    ) -> Result<(), xpass_sim::SnapError> {
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@ use xpass_net::endpoint::{Ctx, Endpoint, EndpointFactory, TimerSlot};
 use xpass_net::ids::Side;
 use xpass_net::packet::{data_wire_size, flags, Packet, PktKind, ACK_SIZE, MSS};
 use xpass_sim::time::{Dur, SimTime};
+use xpass_sim::{Restore, Snapshot};
 
 /// Information about one cumulative ACK, handed to the policy.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +53,16 @@ pub trait CongestionControl: Send + 'static {
     /// instead of being released back-to-back by ACK clocking.
     fn pacing_bps(&self) -> Option<f64> {
         None
+    }
+
+    /// Serialize the policy's dynamic state into a checkpoint. Policies
+    /// whose behaviour depends only on construction parameters may leave
+    /// the default (writes nothing).
+    fn snap_cc(&self, _w: &mut xpass_sim::SnapWriter) {}
+
+    /// Restore state written by [`snap_cc`](Self::snap_cc).
+    fn restore_cc(&mut self, _r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        Ok(())
     }
 }
 
@@ -402,6 +413,46 @@ impl<C: CongestionControl> Endpoint for WindowSender<C> {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn snap_state(&self, w: &mut xpass_sim::SnapWriter) {
+        w.u64(self.n_pkts);
+        w.u32(self.last_payload);
+        w.u64(self.snd_una);
+        w.u64(self.snd_nxt);
+        w.u32(self.dup_acks);
+        w.u64(self.recover);
+        w.bool(self.in_recovery);
+        w.opt(self.srtt.as_ref(), |w, d| w.u64(d.0));
+        w.u64(self.rttvar.0);
+        w.u32(self.rto_backoff);
+        self.rto_slot.snap(w);
+        self.pace_slot.snap(w);
+        self.syn_slot.snap(w);
+        w.bool(self.established);
+        w.u64(self.retransmits);
+        w.bool(self.done);
+        self.cc.snap_cc(w);
+    }
+
+    fn restore_state(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.n_pkts = r.u64()?;
+        self.last_payload = r.u32()?;
+        self.snd_una = r.u64()?;
+        self.snd_nxt = r.u64()?;
+        self.dup_acks = r.u32()?;
+        self.recover = r.u64()?;
+        self.in_recovery = r.bool()?;
+        self.srtt = r.opt(|r| Ok(Dur(r.u64()?)))?;
+        self.rttvar = Dur(r.u64()?);
+        self.rto_backoff = r.u32()?;
+        self.rto_slot.restore(r)?;
+        self.pace_slot.restore(r)?;
+        self.syn_slot.restore(r)?;
+        self.established = r.bool()?;
+        self.retransmits = r.u64()?;
+        self.done = r.bool()?;
+        self.cc.restore_cc(r)
+    }
 }
 
 /// Receiver half: per-packet cumulative ACKs with ECN echo, duplicate
@@ -474,6 +525,24 @@ impl Endpoint for WindowReceiver {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snap_state(&self, w: &mut xpass_sim::SnapWriter) {
+        w.u64(self.rcv_next);
+        w.usize(self.ooo.len());
+        for &seq in &self.ooo {
+            w.u64(seq);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.rcv_next = r.u64()?;
+        let n = r.seq_len(8)?;
+        self.ooo.clear();
+        for _ in 0..n {
+            self.ooo.insert(r.u64()?);
+        }
+        Ok(())
     }
 }
 

@@ -28,6 +28,7 @@ use xpass_net::packet::{
 };
 use xpass_sim::time::{Dur, SimTime};
 use xpass_sim::trace::TraceEvent;
+use xpass_sim::{Restore, Snapshot};
 
 /// Timer kinds used by the ExpressPass endpoints.
 mod timer {
@@ -210,6 +211,27 @@ impl Endpoint for XPassSender {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snap_state(&self, w: &mut xpass_sim::SnapWriter) {
+        w.u64(self.next_seq);
+        w.u64(self.last_ack);
+        w.u32(self.dup_count);
+        self.stop_slot.snap(w);
+        self.syn_slot.snap(w);
+        w.u32(self.syn_attempts);
+        w.bool(self.stopped);
+    }
+
+    fn restore_state(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.next_seq = r.u64()?;
+        self.last_ack = r.u64()?;
+        self.dup_count = r.u32()?;
+        self.stop_slot.restore(r)?;
+        self.syn_slot.restore(r)?;
+        self.syn_attempts = r.u32()?;
+        self.stopped = r.bool()?;
+        Ok(())
     }
 }
 
@@ -548,6 +570,63 @@ impl Endpoint for XPassReceiver {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snap_state(&self, w: &mut xpass_sim::SnapWriter) {
+        w.opt(self.feedback.as_ref(), |w, fb| fb.snap(w));
+        w.usize(self.ooo.len());
+        for (&seq, &len) in &self.ooo {
+            w.u64(seq);
+            w.u32(len);
+        }
+        w.u64(self.credit_seq);
+        w.u64(self.last_echo);
+        w.u64(self.period_recv);
+        w.u64(self.period_lost);
+        w.u64(self.period_sent);
+        w.u32(self.silent_periods);
+        w.opt(self.srtt.as_ref(), |w, d| w.u64(d.0));
+        self.pace_slot.snap(w);
+        self.update_slot.snap(w);
+        w.bool(self.sending);
+        w.bool(self.stopped);
+        w.bool(self.paused);
+        w.u64(self.delivered_at_update);
+        w.u64(self.last_progress.0);
+        w.bool(self.stall_flagged);
+    }
+
+    fn restore_state(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.feedback = r.opt(|r| {
+            // Placeholder controller; every dynamic field (including
+            // max_rate) is overlaid from the snapshot.
+            let mut fb = CreditFeedback::new(1.0, self.cfg);
+            fb.restore(r)?;
+            Ok(fb)
+        })?;
+        let n = r.seq_len(12)?;
+        self.ooo.clear();
+        for _ in 0..n {
+            let seq = r.u64()?;
+            let len = r.u32()?;
+            self.ooo.insert(seq, len);
+        }
+        self.credit_seq = r.u64()?;
+        self.last_echo = r.u64()?;
+        self.period_recv = r.u64()?;
+        self.period_lost = r.u64()?;
+        self.period_sent = r.u64()?;
+        self.silent_periods = r.u32()?;
+        self.srtt = r.opt(|r| Ok(Dur(r.u64()?)))?;
+        self.pace_slot.restore(r)?;
+        self.update_slot.restore(r)?;
+        self.sending = r.bool()?;
+        self.stopped = r.bool()?;
+        self.paused = r.bool()?;
+        self.delivered_at_update = r.u64()?;
+        self.last_progress = SimTime(r.u64()?);
+        self.stall_flagged = r.bool()?;
+        Ok(())
     }
 }
 

@@ -12,12 +12,32 @@
 //! `xpass-sim`; the pool stamps the requested kind onto every worker (and
 //! onto the calling thread for the inline `jobs <= 1` path) so a run under
 //! `--scheduler heap --jobs 8` really does use the heap everywhere.
+//!
+//! The checkpoint runtime ([`xpass_sim::checkpoint`]) is thread-scoped the
+//! same way: the pool captures the caller's context and installs the
+//! per-job child scope (`child_of(parent, i)`) around every job, on
+//! whichever thread happens to run it. With no context installed — the
+//! default — this costs nothing. [`run_isolated`] additionally
+//! auto-resumes a panicked job once from its latest checkpoint.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use xpass_sim::checkpoint;
 use xpass_sim::event::{set_thread_scheduler, SchedulerKind};
+
+/// Run `job` with the checkpoint scope for fan-out index `i` installed,
+/// restoring the thread's previous context afterwards. No context on the
+/// caller → no context in the job (the zero-cost default).
+fn with_job_scope<R>(parent: &Option<checkpoint::Ctx>, i: usize, job: impl FnOnce() -> R) -> R {
+    let Some(p) = parent else { return job() };
+    let prev = checkpoint::swap(Some(checkpoint::child_of(p, i as u64)));
+    let r = job();
+    checkpoint::swap(prev);
+    r
+}
 
 /// Run `f(index, input)` for every input and return the results in input
 /// order. `jobs <= 1` runs inline (no threads spawned); otherwise up to
@@ -29,12 +49,13 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let n = inputs.len();
+    let parent = checkpoint::current();
     if jobs <= 1 || n <= 1 {
         set_thread_scheduler(scheduler);
         return inputs
             .into_iter()
             .enumerate()
-            .map(|(i, x)| f(i, x))
+            .map(|(i, x)| with_job_scope(&parent, i, || f(i, x)))
             .collect();
     }
     let slots: Mutex<Vec<Option<T>>> = Mutex::new(inputs.into_iter().map(Some).collect());
@@ -51,7 +72,7 @@ where
                         break;
                     }
                     let input = slots.lock().unwrap()[i].take().expect("job taken twice");
-                    let r = f(i, input);
+                    let r = with_job_scope(&parent, i, || f(i, input));
                     results.lock().unwrap()[i] = Some(r);
                 }
             });
@@ -78,6 +99,13 @@ pub struct JobResult<R> {
     /// protection is the simulator watchdog); the flag lets the driver
     /// report it and fail the batch.
     pub over_budget: bool,
+    /// Newest checkpoint written in this job's scope, when checkpointing
+    /// was on. Reported in the failure summary so a killed batch can be
+    /// resumed by hand, and used by the in-process auto-resume.
+    pub last_checkpoint: Option<PathBuf>,
+    /// True when the job panicked and was re-run from its latest
+    /// checkpoint (whether or not the re-run then succeeded).
+    pub resumed: bool,
 }
 
 impl<R> JobResult<R> {
@@ -87,10 +115,30 @@ impl<R> JobResult<R> {
     }
 }
 
+/// One guarded attempt at a job: the panic message becomes `Err`.
+fn attempt<T, R>(f: &(impl Fn(usize, T) -> R + Sync), i: usize, x: T) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(|| f(i, x))).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
 /// Like [`run_indexed`], but each job is isolated: a panicking job is
 /// caught and reported as `Err(message)` in its slot instead of tearing
 /// down the whole batch, and each job's wall-clock time is measured
 /// against an optional `budget`. Results remain in input order.
+///
+/// When checkpointing is on and a job panics after writing at least one
+/// snapshot, the job is re-run **once** with that snapshot armed as a
+/// resume image: the re-run replays the experiment's deterministic setup
+/// and overlays the saved state mid-flight, so a transient crash costs
+/// only the work since the last checkpoint. The original panic message is
+/// kept if the re-run fails too.
 pub fn run_isolated<T, R, F>(
     inputs: Vec<T>,
     jobs: usize,
@@ -99,26 +147,34 @@ pub fn run_isolated<T, R, F>(
     f: F,
 ) -> Vec<JobResult<R>>
 where
-    T: Send,
+    T: Send + Clone,
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
     run_indexed(inputs, jobs, scheduler, |i, x| {
         let start = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| f(i, x))).map_err(|payload| {
-            if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "panic with non-string payload".to_string()
+        let mut result = attempt(&f, i, x.clone());
+        let mut resumed = false;
+        if result.is_err() {
+            if let Some(img) =
+                checkpoint::latest_checkpoint().and_then(|p| checkpoint::load_image(&p).ok())
+            {
+                // Fresh scope state (the net-index counter restarts at 0,
+                // as in the original attempt), then arm the image so the
+                // network it targets restores at the recorded run call.
+                checkpoint::swap(checkpoint::current());
+                checkpoint::arm_resume(img);
+                resumed = true;
+                result = attempt(&f, i, x).or(result);
             }
-        });
+        }
         let wall = start.elapsed();
         JobResult {
             result,
             wall,
             over_budget: budget.is_some_and(|b| wall > b),
+            last_checkpoint: checkpoint::latest_checkpoint(),
+            resumed,
         }
     })
 }
@@ -203,5 +259,85 @@ mod tests {
         let r = run_isolated(vec![1u32], 1, SchedulerKind::Calendar, budget, |_, x| x);
         assert!(r[0].ok());
         assert!(r[0].wall <= Duration::from_secs(3600));
+        assert!(r[0].last_checkpoint.is_none(), "no checkpointing was on");
+        assert!(!r[0].resumed);
+    }
+
+    #[test]
+    fn workers_inherit_scoped_checkpoint_contexts() {
+        use xpass_sim::checkpoint::CheckpointConfig;
+        use xpass_sim::time::{Dur, SimTime};
+        let dir = std::env::temp_dir().join(format!("xpass-par-scope-{}", std::process::id()));
+        checkpoint::install(
+            Some(CheckpointConfig {
+                every: Dur::ms(1),
+                dir: dir.clone(),
+                keep: 2,
+            }),
+            None,
+        );
+        // 3 jobs on 3 workers: each must see its own scope, not the
+        // caller's and not another job's.
+        run_indexed(vec![(); 3], 3, SchedulerKind::Calendar, |_, _| {
+            let mut hook = checkpoint::register_network().expect("scope on worker");
+            hook.on_run_call();
+            hook.write(SimTime(1), b"s");
+        });
+        for i in 0..3 {
+            let d = dir.join(format!("scope-{i}")).join("net0");
+            assert!(d.is_dir(), "missing per-job snapshot dir {}", d.display());
+        }
+        checkpoint::clear();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_panicked_job_auto_resumes_from_its_checkpoint() {
+        use xpass_sim::checkpoint::CheckpointConfig;
+        use xpass_sim::time::{Dur, SimTime};
+        let dir = std::env::temp_dir().join(format!("xpass-par-resume-{}", std::process::id()));
+        checkpoint::install(
+            Some(CheckpointConfig {
+                every: Dur::ms(1),
+                dir: dir.clone(),
+                keep: 2,
+            }),
+            None,
+        );
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // First attempt: checkpoint mid-"run", then die. The harness must
+        // re-run the job with the image armed, and the retry's first run
+        // call then sees the saved state instead of starting over.
+        let r = run_isolated(vec![()], 1, SchedulerKind::Calendar, None, |_, _| {
+            let mut hook = checkpoint::register_network().expect("hook");
+            match hook.on_run_call() {
+                Some(state) => String::from_utf8(state).unwrap(),
+                None => {
+                    hook.write(SimTime(1), b"mid-run state");
+                    panic!("crash after the checkpoint");
+                }
+            }
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(r[0].result.as_ref().unwrap(), "mid-run state");
+        assert!(r[0].resumed, "retry must go through the resume path");
+        assert!(r[0].last_checkpoint.is_some());
+        checkpoint::clear();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_job_without_checkpoints_fails_plainly() {
+        checkpoint::clear();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = run_isolated(vec![()], 1, SchedulerKind::Calendar, None, |_, _| {
+            panic!("no safety net");
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(r[0].result.as_ref().unwrap_err(), "no safety net");
+        assert!(!r[0].resumed);
+        assert!(r[0].last_checkpoint.is_none());
     }
 }

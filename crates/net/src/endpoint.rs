@@ -51,6 +51,16 @@ pub trait Endpoint {
     /// Downcasting hook for out-of-band control (e.g. the ideal-rate oracle
     /// setting sender rates).
     fn as_any(&mut self) -> &mut dyn Any;
+
+    /// Serialize this endpoint's dynamic state into a checkpoint. Every
+    /// protocol must write *all* state that influences future behaviour —
+    /// a restored run must be byte-identical to an uninterrupted one.
+    fn snap_state(&self, w: &mut xpass_sim::SnapWriter);
+
+    /// Restore state written by [`snap_state`](Self::snap_state) into a
+    /// freshly constructed endpoint (the factory rebuilds configuration;
+    /// this overlays the dynamic fields).
+    fn restore_state(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError>;
 }
 
 /// Constructor for protocol endpoints: called once per flow per side.
@@ -239,6 +249,19 @@ impl TimerSlot {
     /// True if armed and not yet fired/cancelled.
     pub fn is_armed(&self) -> bool {
         self.armed.is_some()
+    }
+}
+
+impl xpass_sim::Snapshot for TimerSlot {
+    fn snap(&self, w: &mut xpass_sim::SnapWriter) {
+        w.opt(self.armed.as_ref(), |w, g| w.u64(*g));
+    }
+}
+
+impl xpass_sim::Restore for TimerSlot {
+    fn restore(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.armed = r.opt(|r| r.u64())?;
+        Ok(())
     }
 }
 

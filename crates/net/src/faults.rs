@@ -94,6 +94,78 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Serialize for the network snapshot (scheduled `Ev::Fault` events
+    /// still in the queue ride through checkpoints).
+    pub(crate) fn snap(&self, w: &mut xpass_sim::SnapWriter) {
+        match *self {
+            FaultKind::LinkDown { dlink, flush } => {
+                w.u8(0);
+                w.u32(dlink.0);
+                w.bool(flush);
+            }
+            FaultKind::LinkUp { dlink } => {
+                w.u8(1);
+                w.u32(dlink.0);
+            }
+            FaultKind::SetLoss {
+                dlink,
+                data,
+                credit,
+            } => {
+                w.u8(2);
+                w.u32(dlink.0);
+                w.f64(data);
+                w.f64(credit);
+            }
+            FaultKind::SetCorrupt { dlink, prob } => {
+                w.u8(3);
+                w.u32(dlink.0);
+                w.f64(prob);
+            }
+            FaultKind::HostPause { host } => {
+                w.u8(4);
+                w.u32(host.0);
+            }
+            FaultKind::HostResume { host } => {
+                w.u8(5);
+                w.u32(host.0);
+            }
+        }
+    }
+
+    /// Counterpart of [`snap`](Self::snap).
+    pub(crate) fn from_snap(
+        r: &mut xpass_sim::SnapReader,
+    ) -> Result<FaultKind, xpass_sim::SnapError> {
+        Ok(match r.u8()? {
+            0 => FaultKind::LinkDown {
+                dlink: DLinkId(r.u32()?),
+                flush: r.bool()?,
+            },
+            1 => FaultKind::LinkUp {
+                dlink: DLinkId(r.u32()?),
+            },
+            2 => FaultKind::SetLoss {
+                dlink: DLinkId(r.u32()?),
+                data: r.f64()?,
+                credit: r.f64()?,
+            },
+            3 => FaultKind::SetCorrupt {
+                dlink: DLinkId(r.u32()?),
+                prob: r.f64()?,
+            },
+            4 => FaultKind::HostPause {
+                host: HostId(r.u32()?),
+            },
+            5 => FaultKind::HostResume {
+                host: HostId(r.u32()?),
+            },
+            t => return Err(r.err(format!("invalid fault kind tag: expected 0–5, found {t}"))),
+        })
+    }
+}
+
 /// A fault event scheduled at an absolute simulation time.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultEvent {
@@ -230,6 +302,70 @@ impl FaultState {
             stash_tx: Vec::new(),
             rng,
         }
+    }
+}
+
+impl xpass_sim::Snapshot for FaultState {
+    fn snap(&self, w: &mut xpass_sim::SnapWriter) {
+        w.usize(self.links.len());
+        for l in &self.links {
+            w.bool(l.down);
+            w.bool(l.frozen);
+            w.f64(l.loss_data);
+            w.f64(l.loss_credit);
+            w.f64(l.corrupt);
+        }
+        w.usize(self.paused.len());
+        for &p in &self.paused {
+            w.bool(p);
+        }
+        w.usize(self.stash_rx.len());
+        for p in &self.stash_rx {
+            p.snap(w);
+        }
+        w.usize(self.stash_tx.len());
+        for p in &self.stash_tx {
+            p.snap(w);
+        }
+        self.rng.snap(w);
+    }
+}
+
+impl xpass_sim::Restore for FaultState {
+    fn restore(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        let n_links = r.seq_len(26)?;
+        if n_links != self.links.len() {
+            return Err(r.err(format!(
+                "fault link count mismatch: configuration has {}, snapshot has {n_links}",
+                self.links.len()
+            )));
+        }
+        for l in &mut self.links {
+            l.down = r.bool()?;
+            l.frozen = r.bool()?;
+            l.loss_data = r.f64()?;
+            l.loss_credit = r.f64()?;
+            l.corrupt = r.f64()?;
+        }
+        let n_hosts = r.seq_len(1)?;
+        if n_hosts != self.paused.len() {
+            return Err(r.err(format!(
+                "fault host count mismatch: configuration has {}, snapshot has {n_hosts}",
+                self.paused.len()
+            )));
+        }
+        for p in &mut self.paused {
+            *p = r.bool()?;
+        }
+        let n_rx = r.seq_len(8)?;
+        self.stash_rx = (0..n_rx)
+            .map(|_| Packet::from_snap(r))
+            .collect::<Result<_, _>>()?;
+        let n_tx = r.seq_len(8)?;
+        self.stash_tx = (0..n_tx)
+            .map(|_| Packet::from_snap(r))
+            .collect::<Result<_, _>>()?;
+        self.rng.restore(r)
     }
 }
 

@@ -126,6 +126,43 @@ impl Ledger {
     }
 }
 
+impl xpass_sim::Snapshot for LedgerEntry {
+    fn snap(&self, w: &mut xpass_sim::SnapWriter) {
+        w.u64(self.pkts);
+        w.u64(self.bytes);
+    }
+}
+
+impl xpass_sim::Restore for LedgerEntry {
+    fn restore(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.pkts = r.u64()?;
+        self.bytes = r.u64()?;
+        Ok(())
+    }
+}
+
+impl xpass_sim::Snapshot for Ledger {
+    fn snap(&self, w: &mut xpass_sim::SnapWriter) {
+        self.emitted.snap(w);
+        self.delivered.snap(w);
+        self.queue_dropped.snap(w);
+        self.fault_lost.snap(w);
+        self.corrupted.snap(w);
+        self.in_flight.snap(w);
+    }
+}
+
+impl xpass_sim::Restore for Ledger {
+    fn restore(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        self.emitted.restore(r)?;
+        self.delivered.restore(r)?;
+        self.queue_dropped.restore(r)?;
+        self.fault_lost.restore(r)?;
+        self.corrupted.restore(r)?;
+        self.in_flight.restore(r)
+    }
+}
+
 /// Conservation snapshot: the running accounts plus the residual ones
 /// (`queued`, `stashed`) measured at snapshot time.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

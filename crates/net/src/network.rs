@@ -29,9 +29,11 @@ use crate::rcplink::RcpLink;
 use crate::routing::ecmp_index;
 use crate::topology::Topology;
 use std::collections::HashMap;
+use xpass_sim::checkpoint::{self, NetHook};
 use xpass_sim::event::EventQueue;
 use xpass_sim::profile::EngineReport;
 use xpass_sim::rng::Rng;
+use xpass_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use xpass_sim::stats::TimeSeries;
 use xpass_sim::time::{Dur, SimTime};
 use xpass_sim::trace::{TraceEvent, TraceSink};
@@ -90,6 +92,89 @@ fn ev_kind_idx(ev: &Ev) -> usize {
         Ev::RcpUpdate { .. } => 5,
         Ev::Sample => 6,
         Ev::Fault { .. } => 7,
+    }
+}
+
+impl Ev {
+    /// Serialize one queued event for a network snapshot (tag + payload).
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::Arrive { dlink, pkt } => {
+                w.u8(0);
+                w.u32(dlink.0);
+                pkt.snap(w);
+            }
+            Ev::PortWake { dlink } => {
+                w.u8(1);
+                w.u32(dlink.0);
+            }
+            Ev::HostRx { pkt } => {
+                w.u8(2);
+                pkt.snap(w);
+            }
+            Ev::Timer {
+                flow,
+                side,
+                kind,
+                gen,
+            } => {
+                w.u8(3);
+                w.u32(flow.0);
+                w.bool(matches!(side, Side::Sender));
+                w.u8(*kind);
+                w.u64(*gen);
+            }
+            Ev::FlowStart { flow } => {
+                w.u8(4);
+                w.u32(flow.0);
+            }
+            Ev::RcpUpdate { dlink } => {
+                w.u8(5);
+                w.u32(dlink.0);
+            }
+            Ev::Sample => w.u8(6),
+            Ev::Fault { kind } => {
+                w.u8(7);
+                kind.snap(w);
+            }
+        }
+    }
+
+    /// Counterpart of [`snap`](Self::snap).
+    fn from_snap(r: &mut SnapReader) -> Result<Ev, SnapError> {
+        Ok(match r.u8()? {
+            0 => Ev::Arrive {
+                dlink: DLinkId(r.u32()?),
+                pkt: Packet::from_snap(r)?,
+            },
+            1 => Ev::PortWake {
+                dlink: DLinkId(r.u32()?),
+            },
+            2 => Ev::HostRx {
+                pkt: Packet::from_snap(r)?,
+            },
+            3 => Ev::Timer {
+                flow: FlowId(r.u32()?),
+                side: if r.bool()? {
+                    Side::Sender
+                } else {
+                    Side::Receiver
+                },
+                kind: r.u8()?,
+                gen: r.u64()?,
+            },
+            4 => Ev::FlowStart {
+                flow: FlowId(r.u32()?),
+            },
+            5 => Ev::RcpUpdate {
+                dlink: DLinkId(r.u32()?),
+            },
+            6 => Ev::Sample,
+            7 => Ev::Fault {
+                kind: FaultKind::from_snap(r)?,
+            },
+            t => return Err(r.err(format!("invalid event tag: expected 0–7, found {t}"))),
+        })
     }
 }
 
@@ -198,6 +283,15 @@ pub trait Controller {
     fn on_flow_start(&mut self, _net: &mut Network, _flow: FlowId) {}
     /// A flow just delivered its last byte.
     fn on_flow_complete(&mut self, _net: &mut Network, _flow: FlowId) {}
+    /// Serialize mutable controller state into a snapshot (see
+    /// [`crate::network::Network::snapshot_into`]). Stateless controllers
+    /// keep the no-op default.
+    fn snap_ctl(&self, _w: &mut xpass_sim::SnapWriter) {}
+    /// Counterpart of [`snap_ctl`](Self::snap_ctl): overlay snapshot state
+    /// onto a freshly constructed controller.
+    fn restore_ctl(&mut self, _r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        Ok(())
+    }
 }
 
 /// The do-nothing controller.
@@ -243,6 +337,11 @@ pub struct Network {
     watchdog_report: Option<WatchdogReport>,
     /// Driver-set phase label surfaced in watchdog reports.
     phase: &'static str,
+    /// Checkpoint hook; `None` unless a checkpoint context is installed on
+    /// this thread (see [`xpass_sim::checkpoint`]) — the common, zero-cost
+    /// case. Drives periodic snapshot writes and the one-shot resume
+    /// overlay at the recorded run call.
+    ckpt: Option<NetHook>,
     /// Events handled per kind (indexed by [`ev_kind_idx`]); always on —
     /// plain counters that cannot affect simulation state.
     ev_counts: [u64; 8],
@@ -336,6 +435,7 @@ impl Network {
             watchdog: None,
             watchdog_report: None,
             phase: "run",
+            ckpt: checkpoint::register_network(),
             ev_counts: [0; 8],
             wall_secs: 0.0,
             counters: Counters::default(),
@@ -622,6 +722,9 @@ impl Network {
     /// unless an installed watchdog trips, in which case the loop aborts at
     /// the tripping event (see [`watchdog_report`](Self::watchdog_report)).
     pub fn run_until(&mut self, t: SimTime) {
+        if self.ckpt.is_some() {
+            self.ckpt_enter_run();
+        }
         if self.watchdog_report.is_some() {
             return; // a previous trip already aborted this run
         }
@@ -633,8 +736,15 @@ impl Network {
                 self.wall_secs += wall.elapsed().as_secs_f64();
                 return;
             }
+            if self.ckpt.as_ref().is_some_and(|h| h.due(et)) {
+                self.write_checkpoint();
+            }
         }
-        self.now = t;
+        // After a resume overlay `now` may already be past `t`; never
+        // rewind simulation time.
+        if t > self.now {
+            self.now = t;
+        }
         self.wall_secs += wall.elapsed().as_secs_f64();
     }
 
@@ -642,6 +752,9 @@ impl Network {
     /// during the run) settles — completes or is aborted by its endpoint —
     /// or until `cap`. Returns the time the last flow settled (or `cap`).
     pub fn run_until_done(&mut self, cap: SimTime) -> SimTime {
+        if self.ckpt.is_some() {
+            self.ckpt_enter_run();
+        }
         let wall = std::time::Instant::now();
         let done_at = self.run_until_done_loop(cap);
         self.wall_secs += wall.elapsed().as_secs_f64();
@@ -669,11 +782,49 @@ impl Network {
                     if self.watchdog.is_some() && self.watchdog_tripped() {
                         return self.now;
                     }
+                    if self.ckpt.as_ref().is_some_and(|h| h.due(self.now)) {
+                        self.write_checkpoint();
+                    }
                 }
                 None => break,
             }
         }
         last_done
+    }
+
+    /// Count this run call on the checkpoint hook; when an armed resume
+    /// image recorded this exact call, overlay the saved network state
+    /// before any event is processed.
+    fn ckpt_enter_run(&mut self) {
+        let Some(hook) = self.ckpt.as_mut() else {
+            return;
+        };
+        let Some(state) = hook.on_run_call() else {
+            return;
+        };
+        if let Err(e) = self.restore_from(&state) {
+            // The envelope CRC already vouched for the bytes, so a decode
+            // failure means the snapshot does not match this scenario or
+            // binary — not something the run can recover from.
+            panic!("snapshot restore failed: {e}");
+        }
+        let now = self.now;
+        if let Some(hook) = self.ckpt.as_mut() {
+            hook.after_restore(now);
+        }
+    }
+
+    /// Serialize the full network state and hand it to the checkpoint hook
+    /// for an atomic write. Called between events, where no endpoint is
+    /// checked out and lifecycle notifications have been flushed.
+    fn write_checkpoint(&mut self) {
+        let Some(mut hook) = self.ckpt.take() else {
+            return;
+        };
+        let mut w = SnapWriter::new();
+        self.snapshot_into(&mut w);
+        hook.write(self.now, &w.into_body());
+        self.ckpt = Some(hook);
     }
 
     /// Observe one handled event on the installed watchdog; on a trip,
@@ -1489,6 +1640,377 @@ impl Network {
             self.sample_scheduled = false;
         }
     }
+
+    // ----- snapshot / restore ------------------------------------------------
+
+    /// Serialize the network's complete *dynamic* state as an
+    /// `xpass-snap/v1` body. Static configuration — topology, [`NetConfig`],
+    /// endpoint factory, installed monitor specs — is not written: a
+    /// restore overlays onto a freshly built network whose deterministic
+    /// setup already re-created all of it. Wall-clock state (`wall_secs`)
+    /// and the trace sink are deliberately excluded: restores happen at a
+    /// different wall time by definition, and trace sinks are external
+    /// observers re-attached by the driver.
+    pub fn snapshot_into(&mut self, w: &mut SnapWriter) {
+        w.u64(self.now.0);
+        // Event queue: drain raw entries in deterministic (time, seq) order
+        // — identical bytes under either scheduler — then put them straight
+        // back, preserving explicit sequence numbers.
+        let entries = self.events.drain_for_snapshot();
+        w.usize(entries.len());
+        for (at, seq, ev) in &entries {
+            w.u64(at.0);
+            w.u64(*seq);
+            ev.snap(w);
+        }
+        for (at, seq, ev) in entries {
+            self.events.reinsert_for_snapshot(at, seq, ev);
+        }
+        let (seq, popped, peak) = self.events.snapshot_counters();
+        w.u64(seq);
+        w.u64(popped);
+        w.u64(peak);
+        let (cancellable, cancelled) = self.events.snapshot_cancel_sets();
+        w.seq(&cancellable, |w, s| w.u64(*s));
+        w.seq(&cancelled, |w, s| w.u64(*s));
+        self.rng.snap(w);
+        w.usize(self.ports.len());
+        for p in &self.ports {
+            p.snap(w);
+        }
+        w.usize(self.flows.len());
+        for f in &self.flows {
+            // Flow identity rides along so flows added dynamically during
+            // the run (request/response controllers) can be rebuilt from
+            // the factory on restore.
+            w.u32(f.info.src.0);
+            w.u32(f.info.dst.0);
+            w.u64(f.info.size_bytes);
+            w.u64(f.info.start.0);
+            w.u8(f.info.class);
+            w.u64(f.rx_bytes);
+            w.bool(f.done);
+            w.opt(f.fct.as_ref(), |w, d| w.u64(d.0));
+            w.u64(f.timer_gen);
+            w.u64(f.credits_sent);
+            w.u64(f.credits_wasted);
+            w.bool(f.aborted);
+            w.bool(f.stalled);
+            f.sender
+                .as_ref()
+                .expect("sender checked out during snapshot")
+                .snap_state(w);
+            f.receiver
+                .as_ref()
+                .expect("receiver checked out during snapshot")
+                .snap_state(w);
+        }
+        w.usize(self.pending.len());
+        for p in &self.pending {
+            match p {
+                Pending::Started(f) => {
+                    w.u8(0);
+                    w.u32(f.0);
+                }
+                Pending::Completed(f) => {
+                    w.u8(1);
+                    w.u32(f.0);
+                }
+            }
+        }
+        w.usize(self.completed);
+        w.usize(self.aborted);
+        w.opt(self.controller.as_ref(), |w, c| c.snap_ctl(w));
+        w.opt(self.faults.as_ref(), |w, st| st.snap(w));
+        w.opt(self.invariants.as_ref(), |w, st| st.snap(w));
+        w.opt(self.ledger.as_ref(), |w, l| l.snap(w));
+        w.opt(self.watchdog.as_ref(), |w, wd| wd.snap(w));
+        for c in &self.ev_counts {
+            w.u64(*c);
+        }
+        w.u64(self.counters.credits_sent);
+        w.u64(self.counters.credits_dropped);
+        w.u64(self.counters.credits_wasted);
+        w.u64(self.counters.data_dropped);
+        w.u64(self.counters.payload_delivered);
+        w.u64(self.counters.ecn_marked);
+        w.u64(self.counters.faults_injected);
+        w.u64(self.counters.pkts_corrupted);
+        w.u64(self.counters.pkts_lost_to_faults);
+        w.u64(self.counters.flows_aborted);
+        w.opt(self.sample_interval.as_ref(), |w, d| w.u64(d.0));
+        w.bool(self.sample_scheduled);
+        w.seq(&self.tracked_flows, |w, (f, last)| {
+            w.u32(f.0);
+            w.u64(*last);
+        });
+        // HashMap iteration order is unspecified: serialize sorted by key
+        // so snapshot bytes are identical across processes.
+        let mut keys: Vec<u32> = self.flow_series.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u32(k);
+            self.flow_series[&k].snap(w);
+        }
+        let mut keys: Vec<u32> = self.port_series.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u32(k);
+            self.port_series[&k].snap(w);
+        }
+    }
+
+    /// Overlay a snapshot body written by [`snapshot_into`](Self::snapshot_into)
+    /// onto this freshly built network. The network must have been rebuilt
+    /// by the same deterministic setup (same topology, config, flows,
+    /// installed monitors) that preceded the snapshot; mismatches are
+    /// reported as [`SnapError`]s naming the offending component, never a
+    /// panic.
+    pub fn restore_from(&mut self, body: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(body, 0);
+        r.enter("network");
+        self.now = SimTime(r.u64()?);
+        r.enter("events");
+        let n_ev = r.seq_len(17)?;
+        // Whatever deterministic setup scheduled is superseded wholesale by
+        // the snapshot's queue (which evolved from exactly those events).
+        drop(self.events.drain_for_snapshot());
+        for _ in 0..n_ev {
+            let at = SimTime(r.u64()?);
+            let seq = r.u64()?;
+            let ev = Ev::from_snap(&mut r)?;
+            self.events.reinsert_for_snapshot(at, seq, ev);
+        }
+        let (seq, popped, peak) = (r.u64()?, r.u64()?, r.u64()?);
+        self.events.restore_counters(seq, popped, peak);
+        let n = r.seq_len(8)?;
+        let cancellable = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
+        let n = r.seq_len(8)?;
+        let cancelled = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
+        self.events.restore_cancel_sets(cancellable, cancelled);
+        r.leave();
+        r.enter("rng");
+        self.rng.restore(&mut r)?;
+        r.leave();
+        r.enter("ports");
+        let np = r.seq_len(1)?;
+        if np != self.ports.len() {
+            return Err(r.err(format!(
+                "port count mismatch: configuration has {}, snapshot has {np}",
+                self.ports.len()
+            )));
+        }
+        for (i, p) in self.ports.iter_mut().enumerate() {
+            r.enter(i.to_string());
+            p.restore(&mut r)?;
+            r.leave();
+        }
+        r.leave();
+        r.enter("flows");
+        let nf = r.seq_len(1)?;
+        if nf < self.flows.len() {
+            return Err(r.err(format!(
+                "flow count mismatch: configuration has {}, snapshot has only {nf}",
+                self.flows.len()
+            )));
+        }
+        for i in 0..nf {
+            r.enter(i.to_string());
+            let src = HostId(r.u32()?);
+            let dst = HostId(r.u32()?);
+            let size_bytes = r.u64()?;
+            let start = SimTime(r.u64()?);
+            let class = r.u8()?;
+            if i == self.flows.len() {
+                // Added dynamically during the snapshotted run (after the
+                // setup the resume replayed): rebuild from the factory. No
+                // FlowStart is scheduled — the restored queue already holds
+                // whatever remains of this flow's events.
+                let info = FlowInfo {
+                    id: FlowId(i as u32),
+                    src,
+                    dst,
+                    size_bytes,
+                    start,
+                    class,
+                };
+                let sender = (self.factory)(Side::Sender, &info);
+                let receiver = (self.factory)(Side::Receiver, &info);
+                self.flows.push(FlowRuntime {
+                    info,
+                    sender: Some(sender),
+                    receiver: Some(receiver),
+                    rx_bytes: 0,
+                    done: false,
+                    fct: None,
+                    timer_gen: 0,
+                    credits_sent: 0,
+                    credits_wasted: 0,
+                    aborted: false,
+                    stalled: false,
+                });
+            } else {
+                let info = &self.flows[i].info;
+                if info.src != src
+                    || info.dst != dst
+                    || info.size_bytes != size_bytes
+                    || info.start != start
+                    || info.class != class
+                {
+                    return Err(r.err(format!(
+                        "flow identity mismatch: configuration has \
+                         {} → {} ({} B), snapshot has {src} → {dst} ({size_bytes} B)",
+                        info.src, info.dst, info.size_bytes
+                    )));
+                }
+            }
+            let f = &mut self.flows[i];
+            f.rx_bytes = r.u64()?;
+            f.done = r.bool()?;
+            f.fct = r.opt(|r| r.u64())?.map(Dur);
+            f.timer_gen = r.u64()?;
+            f.credits_sent = r.u64()?;
+            f.credits_wasted = r.u64()?;
+            f.aborted = r.bool()?;
+            f.stalled = r.bool()?;
+            r.enter("sender");
+            f.sender
+                .as_mut()
+                .expect("sender checked out during restore")
+                .restore_state(&mut r)?;
+            r.leave();
+            r.enter("receiver");
+            f.receiver
+                .as_mut()
+                .expect("receiver checked out during restore")
+                .restore_state(&mut r)?;
+            r.leave();
+            r.leave();
+        }
+        r.leave();
+        r.enter("pending");
+        let n = r.seq_len(5)?;
+        self.pending.clear();
+        for _ in 0..n {
+            let tag = r.u8()?;
+            let f = FlowId(r.u32()?);
+            self.pending.push(match tag {
+                0 => Pending::Started(f),
+                1 => Pending::Completed(f),
+                t => return Err(r.err(format!("invalid pending tag: expected 0 or 1, found {t}"))),
+            });
+        }
+        r.leave();
+        self.completed = r.usize()?;
+        self.aborted = r.usize()?;
+        fn presence(
+            r: &SnapReader<'_>,
+            what: &str,
+            cfg: bool,
+            snap: bool,
+        ) -> Result<(), SnapError> {
+            if cfg != snap {
+                let word = |b: bool| if b { "has one" } else { "has none" };
+                return Err(r.err(format!(
+                    "{what} presence mismatch: configuration {}, snapshot {}",
+                    word(cfg),
+                    word(snap)
+                )));
+            }
+            Ok(())
+        }
+        r.enter("controller");
+        let has = r.bool()?;
+        presence(&r, "controller", self.controller.is_some(), has)?;
+        if let Some(mut c) = self.controller.take() {
+            // Taken out so the controller can be handed `&mut r` without
+            // aliasing `self`.
+            let res = c.restore_ctl(&mut r);
+            self.controller = Some(c);
+            res?;
+        }
+        r.leave();
+        r.enter("faults");
+        let has = r.bool()?;
+        presence(&r, "fault state", self.faults.is_some(), has)?;
+        if let Some(st) = self.faults.as_mut() {
+            st.restore(&mut r)?;
+        }
+        r.leave();
+        r.enter("invariants");
+        let has = r.bool()?;
+        presence(&r, "invariant monitors", self.invariants.is_some(), has)?;
+        if let Some(st) = self.invariants.as_mut() {
+            st.restore(&mut r)?;
+        }
+        r.leave();
+        r.enter("ledger");
+        let has = r.bool()?;
+        presence(&r, "ledger", self.ledger.is_some(), has)?;
+        if let Some(l) = self.ledger.as_mut() {
+            l.restore(&mut r)?;
+        }
+        r.leave();
+        r.enter("watchdog");
+        let has = r.bool()?;
+        presence(&r, "watchdog", self.watchdog.is_some(), has)?;
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.restore(&mut r)?;
+        }
+        r.leave();
+        for c in &mut self.ev_counts {
+            *c = r.u64()?;
+        }
+        self.counters.credits_sent = r.u64()?;
+        self.counters.credits_dropped = r.u64()?;
+        self.counters.credits_wasted = r.u64()?;
+        self.counters.data_dropped = r.u64()?;
+        self.counters.payload_delivered = r.u64()?;
+        self.counters.ecn_marked = r.u64()?;
+        self.counters.faults_injected = r.u64()?;
+        self.counters.pkts_corrupted = r.u64()?;
+        self.counters.pkts_lost_to_faults = r.u64()?;
+        self.counters.flows_aborted = r.u64()?;
+        self.sample_interval = r.opt(|r| r.u64())?.map(Dur);
+        self.sample_scheduled = r.bool()?;
+        r.enter("tracked_flows");
+        let n = r.seq_len(12)?;
+        self.tracked_flows = (0..n)
+            .map(|_| Ok((FlowId(r.u32()?), r.u64()?)))
+            .collect::<Result<_, SnapError>>()?;
+        r.leave();
+        r.enter("flow_series");
+        let n = r.seq_len(4)?;
+        for _ in 0..n {
+            let k = r.u32()?;
+            match self.flow_series.get_mut(&k) {
+                Some(s) => s.restore(&mut r)?,
+                None => {
+                    return Err(r.err(format!("tracked flow {k} not in configuration")));
+                }
+            }
+        }
+        r.leave();
+        r.enter("port_series");
+        let n = r.seq_len(4)?;
+        for _ in 0..n {
+            let k = r.u32()?;
+            match self.port_series.get_mut(&k) {
+                Some(s) => s.restore(&mut r)?,
+                None => {
+                    return Err(r.err(format!("tracked port {k} not in configuration")));
+                }
+            }
+        }
+        r.leave();
+        // Still inside the "network" context: a trailing-garbage error must
+        // name where it was detected.
+        r.expect_end()?;
+        r.leave();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1544,6 +2066,15 @@ mod tests {
 
         fn as_any(&mut self) -> &mut dyn Any {
             self
+        }
+
+        fn snap_state(&self, _w: &mut xpass_sim::SnapWriter) {}
+
+        fn restore_state(
+            &mut self,
+            _r: &mut xpass_sim::SnapReader,
+        ) -> Result<(), xpass_sim::SnapError> {
+            Ok(())
         }
     }
 
@@ -1651,6 +2182,13 @@ mod tests {
             }
             fn as_any(&mut self) -> &mut dyn Any {
                 self
+            }
+            fn snap_state(&self, _w: &mut xpass_sim::SnapWriter) {}
+            fn restore_state(
+                &mut self,
+                _r: &mut xpass_sim::SnapReader,
+            ) -> Result<(), xpass_sim::SnapError> {
+                Ok(())
             }
         }
 

@@ -189,6 +189,67 @@ impl EgressPort {
     }
 }
 
+// Dynamic state only: dlink, speed and propagation delay are configuration
+// rebuilt by setup. Queue contents, the transmitter busy horizon, the pending
+// meter wake, byte counters, and the optional gap collector all carry over.
+impl xpass_sim::Snapshot for EgressPort {
+    fn snap(&self, w: &mut xpass_sim::SnapWriter) {
+        self.data.snap(w);
+        w.opt(self.credit.as_ref(), |w, cq| cq.snap(w));
+        w.opt(self.rcp.as_ref(), |w, rcp| rcp.snap(w));
+        w.u64(self.busy_until.0);
+        w.opt(self.token_wake.as_ref(), |w, t| w.u64(t.0));
+        w.u64(self.tx_bytes);
+        w.u64(self.tx_data_bytes);
+        w.u64(self.tx_payload_bytes);
+        w.u64(self.tx_credit_bytes);
+        w.opt(self.credit_gaps.as_ref(), |w, (last, gaps)| {
+            w.u64(last.0);
+            gaps.snap(w);
+        });
+    }
+}
+
+impl xpass_sim::Restore for EgressPort {
+    fn restore(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        fn opt_mismatch(r: &SnapReader, what: &str, cfg: bool, snap: bool) -> xpass_sim::SnapError {
+            r.err(format!(
+                "{what} presence mismatch: configuration {}, snapshot {}",
+                if cfg { "has one" } else { "has none" },
+                if snap { "has one" } else { "has none" },
+            ))
+        }
+        self.data.restore(r)?;
+        let has_credit = r.bool()?;
+        match (self.credit.as_mut(), has_credit) {
+            (Some(cq), true) => cq.restore(r)?,
+            (None, false) => {}
+            (cfg, snap) => return Err(opt_mismatch(r, "credit queue", cfg.is_some(), snap)),
+        }
+        let has_rcp = r.bool()?;
+        match (self.rcp.as_mut(), has_rcp) {
+            (Some(rcp), true) => rcp.restore(r)?,
+            (None, false) => {}
+            (cfg, snap) => return Err(opt_mismatch(r, "rcp link state", cfg.is_some(), snap)),
+        }
+        self.busy_until = SimTime(r.u64()?);
+        self.token_wake = r.opt(|r| Ok(SimTime(r.u64()?)))?;
+        self.tx_bytes = r.u64()?;
+        self.tx_data_bytes = r.u64()?;
+        self.tx_payload_bytes = r.u64()?;
+        self.tx_credit_bytes = r.u64()?;
+        self.credit_gaps = r.opt(|r| {
+            let last = SimTime(r.u64()?);
+            let mut gaps = xpass_sim::stats::Percentiles::new();
+            gaps.restore(r)?;
+            Ok((last, gaps))
+        })?;
+        Ok(())
+    }
+}
+
+use xpass_sim::SnapReader;
+
 fn dequeue_event(now: SimTime, dlink: DLinkId, pkt: &Packet) -> TraceEvent {
     TraceEvent::PktDequeue {
         at: now,

@@ -468,6 +468,116 @@ impl CreditQueue {
     }
 }
 
+// --- Snapshot/restore -------------------------------------------------------
+//
+// Queues capture queued packets plus counters; capacities, ECN thresholds,
+// drop policies, and meter rates are configuration rebuilt by setup.
+
+use xpass_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for QueueStats {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.enqueued);
+        w.u64(self.dropped);
+        w.u64(self.marked);
+        self.occupancy.snap(w);
+        w.u64(self.max_bytes);
+    }
+}
+
+impl Restore for QueueStats {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.enqueued = r.u64()?;
+        self.dropped = r.u64()?;
+        self.marked = r.u64()?;
+        self.occupancy.restore(r)?;
+        self.max_bytes = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for PhantomQueue {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u128(self.vq_bits);
+        w.u64(self.last.0);
+    }
+}
+
+impl Restore for PhantomQueue {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.vq_bits = r.u128()?;
+        self.last = SimTime(r.u64()?);
+        Ok(())
+    }
+}
+
+impl Snapshot for DataQueue {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.q.len());
+        for p in &self.q {
+            p.snap(w);
+        }
+        w.u64(self.len_bytes);
+        w.opt(self.phantom.as_ref(), |w, ph| ph.snap(w));
+        self.stats.snap(w);
+    }
+}
+
+impl Restore for DataQueue {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.seq_len(8)?;
+        self.q = (0..n)
+            .map(|_| Packet::from_snap(r))
+            .collect::<Result<_, _>>()?;
+        self.len_bytes = r.u64()?;
+        let had_phantom = r.bool()?;
+        if had_phantom {
+            let ph = self
+                .phantom
+                .as_mut()
+                .ok_or_else(|| r.err("snapshot has a phantom queue, configuration does not"))?;
+            ph.restore(r)?;
+        } else if self.phantom.is_some() {
+            return Err(r.err("configuration has a phantom queue, snapshot does not"));
+        }
+        self.stats.restore(r)
+    }
+}
+
+impl Snapshot for CreditQueue {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.qs.len());
+        for q in &self.qs {
+            w.usize(q.len());
+            for p in q {
+                p.snap(w);
+            }
+        }
+        self.bucket.snap(w);
+        self.stats.snap(w);
+    }
+}
+
+impl Restore for CreditQueue {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let classes = r.seq_len(8)?;
+        if classes != self.qs.len() {
+            return Err(r.err(format!(
+                "credit class count mismatch: configuration has {}, snapshot has {classes}",
+                self.qs.len()
+            )));
+        }
+        for q in &mut self.qs {
+            let n = r.seq_len(8)?;
+            *q = (0..n)
+                .map(|_| Packet::from_snap(r))
+                .collect::<Result<_, _>>()?;
+        }
+        self.bucket.restore(r)?;
+        self.stats.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

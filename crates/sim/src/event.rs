@@ -378,6 +378,67 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Snapshot support: remove **every** queued entry — live and
+    /// cancelled tombstones alike — in `(time, seq)` order. Both schedulers
+    /// yield the identical sequence, so bytes serialized from the result
+    /// are scheduler-independent. The `popped`/`peak` counters are not
+    /// touched; pair with [`reinsert_for_snapshot`](Self::reinsert_for_snapshot)
+    /// to put the entries back (or to load a restored set).
+    pub fn drain_for_snapshot(&mut self) -> Vec<(SimTime, u64, E)> {
+        let mut v = Vec::with_capacity(self.raw);
+        while let Some(e) = self.pop_raw() {
+            v.push(e);
+        }
+        v
+    }
+
+    /// Snapshot support: insert an entry with an **explicit** sequence
+    /// number (the inverse of [`drain_for_snapshot`](Self::drain_for_snapshot)).
+    /// Bypasses the sequence counter and the peak/shrink bookkeeping so a
+    /// drain-serialize-reinsert cycle leaves the queue's observable
+    /// behaviour — pop order and reported statistics — unchanged.
+    pub fn reinsert_for_snapshot(&mut self, at: SimTime, seq: u64, event: E) {
+        match &mut self.imp {
+            Impl::Heap(h) => h.push(Entry {
+                key: Reverse((at, seq)),
+                event,
+            }),
+            Impl::Calendar(c) => c.push(at, seq, event),
+        }
+        self.raw += 1;
+    }
+
+    /// Snapshot support: the queue's counters `(seq, popped, peak)`.
+    pub fn snapshot_counters(&self) -> (u64, u64, u64) {
+        (self.seq, self.popped, self.peak as u64)
+    }
+
+    /// Snapshot support: overwrite the counters captured by
+    /// [`snapshot_counters`](Self::snapshot_counters).
+    pub fn restore_counters(&mut self, seq: u64, popped: u64, peak: u64) {
+        self.seq = seq;
+        self.popped = popped;
+        self.peak = peak as usize;
+        self.needs_shrink = self.raw.saturating_sub(self.cancelled.len()) > self.initial_cap;
+    }
+
+    /// Snapshot support: the live-cancellable and cancelled-tombstone seq
+    /// sets, each sorted so serialization is deterministic.
+    pub fn snapshot_cancel_sets(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut a: Vec<u64> = self.cancellable.iter().copied().collect();
+        let mut b: Vec<u64> = self.cancelled.iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        (a, b)
+    }
+
+    /// Snapshot support: overwrite the cancel sets captured by
+    /// [`snapshot_cancel_sets`](Self::snapshot_cancel_sets).
+    pub fn restore_cancel_sets(&mut self, cancellable: Vec<u64>, cancelled: Vec<u64>) {
+        self.cancellable = cancellable.into_iter().collect();
+        self.cancelled = cancelled.into_iter().collect();
+    }
+
     /// Release memory accumulated during a burst, back down to the initial
     /// capacity. Called automatically whenever the queue drains; safe (and
     /// cheap) to call at any time — it never affects event order.

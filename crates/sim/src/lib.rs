@@ -38,10 +38,12 @@
 #![warn(missing_docs)]
 pub mod bucket;
 pub mod calendar;
+pub mod checkpoint;
 pub mod event;
 pub mod json;
 pub mod profile;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -52,6 +54,7 @@ pub use event::{EventQueue, SchedulerKind};
 pub use json::Json;
 pub use profile::EngineReport;
 pub use rng::Rng;
+pub use snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 pub use stats::{Cdf, Histogram, OnlineStats, Percentiles, TimeWeighted};
 pub use time::{Dur, SimTime};
 pub use trace::{JsonlSink, RingSink, TraceEvent, TraceSink};

@@ -46,6 +46,17 @@ impl Rng {
         Rng::new(self.next_u64())
     }
 
+    /// Snapshot support: the raw xoshiro256++ state words.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Snapshot support: rebuild a generator from raw state words
+    /// (inverse of [`state`](Self::state); continues the exact stream).
+    pub fn from_state(s: [u64; 4]) -> Rng {
+        Rng { s }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -137,6 +148,23 @@ impl Rng {
         let half = spread.as_ps() / 2;
         let off = self.range_u64(0, spread.as_ps());
         Dur(base.as_ps().saturating_add(off).saturating_sub(half))
+    }
+}
+
+impl crate::snap::Snapshot for Rng {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        for word in self.s {
+            w.u64(word);
+        }
+    }
+}
+
+impl crate::snap::Restore for Rng {
+    fn restore(&mut self, r: &mut crate::snap::SnapReader) -> Result<(), crate::snap::SnapError> {
+        for word in &mut self.s {
+            *word = r.u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -414,6 +414,113 @@ impl TimeSeries {
     }
 }
 
+// --- Snapshot/restore -------------------------------------------------------
+//
+// Accumulators capture their full dynamic state (configuration like a
+// series' interval is rebuilt by setup). Floats round-trip via bit
+// patterns, so a restored accumulator continues bit-identically.
+
+use crate::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for OnlineStats {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+}
+
+impl Restore for OnlineStats {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.n = r.u64()?;
+        self.mean = r.f64()?;
+        self.m2 = r.f64()?;
+        self.min = r.f64()?;
+        self.max = r.f64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Percentiles {
+    fn snap(&self, w: &mut SnapWriter) {
+        // Insertion order is preserved (not re-sorted) so a restored
+        // collection behaves identically, including `sorted` laziness.
+        w.bool(self.sorted);
+        w.seq(&self.samples, |w, s| w.f64(*s));
+    }
+}
+
+impl Restore for Percentiles {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.sorted = r.bool()?;
+        let n = r.seq_len(8)?;
+        self.samples = (0..n).map(|_| r.f64()).collect::<Result<_, _>>()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for TimeWeighted {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.last_t.0);
+        w.f64(self.last_v);
+        w.f64(self.weighted_sum);
+        w.f64(self.elapsed);
+        w.f64(self.max);
+        w.bool(self.started);
+    }
+}
+
+impl Restore for TimeWeighted {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.last_t = SimTime(r.u64()?);
+        self.last_v = r.f64()?;
+        self.weighted_sum = r.f64()?;
+        self.elapsed = r.f64()?;
+        self.max = r.f64()?;
+        self.started = r.bool()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Histogram {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.seq(&self.buckets, |w, b| w.u64(*b));
+        w.u64(self.count);
+        w.u64(self.zero);
+    }
+}
+
+impl Restore for Histogram {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.seq_len(8)?;
+        self.buckets = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        self.count = r.u64()?;
+        self.zero = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for TimeSeries {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.seq(&self.samples, |w, (t, v)| {
+            w.u64(t.0);
+            w.f64(*v);
+        });
+    }
+}
+
+impl Restore for TimeSeries {
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.seq_len(16)?;
+        self.samples = (0..n)
+            .map(|_| Ok((SimTime(r.u64()?), r.f64()?)))
+            .collect::<Result<_, SnapError>>()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

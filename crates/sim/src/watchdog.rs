@@ -167,6 +167,27 @@ impl Watchdog {
     }
 }
 
+impl crate::snap::Snapshot for Watchdog {
+    // The spec is configuration. `wall_start` is deliberately excluded: wall
+    // time must never enter a snapshot, so a restored run's wall budget
+    // restarts from the restore point.
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.events);
+        w.u64(self.last_now.0);
+        w.u64(self.instant_streak);
+    }
+}
+
+impl crate::snap::Restore for Watchdog {
+    fn restore(&mut self, r: &mut crate::snap::SnapReader) -> Result<(), crate::snap::SnapError> {
+        self.events = r.u64()?;
+        self.last_now = SimTime(r.u64()?);
+        self.instant_streak = r.u64()?;
+        self.wall_start = None;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

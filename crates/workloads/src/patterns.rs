@@ -191,6 +191,37 @@ impl Controller for PartitionAggregate {
             }
         }
     }
+
+    fn snap_ctl(&self, w: &mut xpass_sim::SnapWriter) {
+        w.usize(self.state.round);
+        // Sorted by flow id: HashMap order is unspecified and snapshots
+        // must be byte-identical across processes.
+        let mut reqs: Vec<(&u32, &HostId)> = self.state.pending_requests.iter().collect();
+        reqs.sort_unstable_by_key(|(&f, _)| f);
+        w.usize(reqs.len());
+        for (&f, &h) in reqs {
+            w.u32(f);
+            w.u32(h.0);
+        }
+        w.usize(self.state.pending_responses);
+        w.bool(self.state.started);
+    }
+
+    fn restore_ctl(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError> {
+        r.enter("partition_aggregate");
+        self.state.round = r.usize()?;
+        let n = r.seq_len(8)?;
+        self.state.pending_requests.clear();
+        for _ in 0..n {
+            let f = r.u32()?;
+            let h = HostId(r.u32()?);
+            self.state.pending_requests.insert(f, h);
+        }
+        self.state.pending_responses = r.usize()?;
+        self.state.started = r.bool()?;
+        r.leave();
+        Ok(())
+    }
 }
 
 /// Kick off a partition/aggregate run: installs the controller and injects

@@ -49,15 +49,32 @@
 //! `xpass-scenario/v1`, see `EXPERIMENTS.md` and `examples/scenarios/`)
 //! through the same pipeline: `--seed`, `--json`, `--trace`, and `--jobs`
 //! all apply.
+//!
+//! `--checkpoint-every <sim-ms> --checkpoint-dir <dir>` writes a
+//! `xpass-snap/v1` snapshot of every simulated network each `<sim-ms>`
+//! milliseconds of *simulation* time (atomic write + rename, last few
+//! kept per network). A crashed job is retried once in-process from its
+//! latest snapshot; the failure summary names the snapshot so a killed
+//! batch can be resumed by hand. `--resume <file>` re-runs the one
+//! experiment the snapshot was taken in — replaying its deterministic
+//! setup, overlaying the saved state mid-flight — and produces output
+//! byte-identical to the uninterrupted run (`--seed`/`--paper-scale`
+//! come from the snapshot; for a scenario snapshot pass the scenario
+//! file too: `--resume <snap> run <file.json>`).
 
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 use xpass::experiments::{parallel, registry, scenario, Experiment, ExperimentOutput};
+use xpass::sim::checkpoint::{self, CheckpointConfig, RunLabel};
 use xpass::sim::event::SchedulerKind;
 use xpass::sim::json::Json;
+use xpass::sim::time::Dur;
 use xpass::sim::trace::{JsonlSink, TraceSink};
+
+/// Snapshots kept per network before old ones are pruned.
+const CHECKPOINT_KEEP: usize = 3;
 
 /// Options shared by every experiment runner.
 struct RunOpts {
@@ -104,7 +121,9 @@ fn usage() -> String {
         "usage: xpass-repro <experiment...|all|list> [--paper-scale] [--seed <u64>]\n\
          \x20                 [--json <dir>] [--trace <file>] [--jobs <n>]\n\
          \x20                 [--scheduler heap|calendar] [--budget-secs <n>]\n\
-         \x20      xpass-repro run <scenario.json...> [same flags]\n\nexperiments:\n",
+         \x20                 [--checkpoint-every <sim-ms> --checkpoint-dir <dir>]\n\
+         \x20      xpass-repro run <scenario.json...> [same flags]\n\
+         \x20      xpass-repro --resume <snapshot.snap> [run <scenario.json>] [same flags]\n\nexperiments:\n",
     );
     for e in registry::all() {
         s.push_str(&format!("  {:<10} {}\n", e.name(), e.describe()));
@@ -167,6 +186,15 @@ fn run_selected(
     }
     let refs: Vec<&dyn Experiment> = selected.iter().map(Box::as_ref).collect();
     let outputs = parallel::run_isolated(refs, jobs, scheduler, budget, |_, e| {
+        if checkpoint::active() {
+            // Stamp snapshot headers with this job's identity so `--resume`
+            // can rebuild the exact run. Must precede network creation.
+            checkpoint::set_label(RunLabel {
+                name: e.name().to_string(),
+                seed: opts.seed,
+                paper_scale: opts.paper_scale,
+            });
+        }
         let sink = if e.traces() {
             open_trace(opts.trace.as_deref())
         } else {
@@ -179,6 +207,17 @@ fn run_selected(
     for (e, job) in selected.iter().zip(&outputs) {
         if banners {
             println!("==== {} — {} ====", e.name(), e.describe());
+        }
+        let ckpt_note = |s: &mut String| {
+            if let Some(p) = &job.last_checkpoint {
+                s.push_str(&format!(" (latest checkpoint: {})", p.display()));
+            }
+        };
+        if job.resumed && job.result.is_ok() {
+            eprintln!(
+                "xpass-repro: {} crashed and was resumed from its latest checkpoint",
+                e.name()
+            );
         }
         match &job.result {
             Ok(out) => {
@@ -193,15 +232,21 @@ fn run_selected(
                     }
                 }
             }
-            Err(msg) => failures.push(format!("{}: panicked: {msg}", e.name())),
+            Err(msg) => {
+                let mut line = format!("{}: panicked: {msg}", e.name());
+                ckpt_note(&mut line);
+                failures.push(line);
+            }
         }
         if job.over_budget {
-            failures.push(format!(
+            let mut line = format!(
                 "{}: exceeded the {:?} wall-clock budget (took {:.1?})",
                 e.name(),
                 budget.unwrap_or_default(),
                 job.wall,
-            ));
+            );
+            ckpt_note(&mut line);
+            failures.push(line);
         }
     }
     if !failures.is_empty() {
@@ -230,6 +275,102 @@ fn exit(ok: bool) -> ExitCode {
     }
 }
 
+/// `--resume <file>`: load the snapshot, rebuild the one experiment it was
+/// taken in, arm the image, and run to completion. Every failure mode here
+/// is a clean diagnostic + non-zero exit — a corrupt, truncated, or
+/// version-mismatched snapshot must never panic.
+#[allow(clippy::too_many_arguments)]
+fn run_resume(
+    snap_path: &Path,
+    targets: &[String],
+    opts: &mut RunOpts,
+    json_dir: Option<&Path>,
+    jobs: usize,
+    scheduler: SchedulerKind,
+    budget: Option<Duration>,
+    ckpt_cfg: Option<CheckpointConfig>,
+) -> ExitCode {
+    let mut img = match checkpoint::load_image(snap_path) {
+        Ok(img) => img,
+        Err(e) => {
+            eprintln!(
+                "xpass-repro: cannot resume from {}: {e}",
+                snap_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.seed.is_some() || opts.paper_scale {
+        eprintln!(
+            "xpass-repro: --resume restores --seed and --paper-scale from the \
+             snapshot; drop the explicit flags"
+        );
+        return ExitCode::FAILURE;
+    }
+    let name = img.label.name.clone();
+    // Rebuild the experiment the snapshot names: from the registry, or —
+    // for scenario snapshots, whose config lives in the file — from a
+    // `run <file.json>` target whose name must match.
+    let exp: Box<dyn Experiment> = match targets {
+        [] => match registry::find(&name) {
+            Some(e) => e,
+            None => {
+                eprintln!(
+                    "xpass-repro: snapshot {} was taken in '{name}', which is not a \
+                     registry experiment; if it is a scenario, pass the file: \
+                     xpass-repro --resume <snap> run <scenario.json>",
+                    snap_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        [t] if *t == name => match registry::find(&name) {
+            Some(e) => e,
+            None => {
+                eprintln!("xpass-repro: unknown experiment '{name}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        [run, file] if run == "run" => match scenario::load(Path::new(file)) {
+            Ok(e) => {
+                if e.name() != name {
+                    eprintln!(
+                        "xpass-repro: snapshot {} was taken in '{name}' but {file} \
+                         defines '{}'",
+                        snap_path.display(),
+                        e.name()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Box::new(e)
+            }
+            Err(e) => {
+                eprintln!("xpass-repro: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!(
+                "xpass-repro: --resume runs exactly the experiment the snapshot was \
+                 taken in ('{name}'); drop the extra targets"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    // The run must be bit-for-bit the one the snapshot interrupted.
+    opts.seed = img.label.seed;
+    opts.paper_scale = img.label.paper_scale;
+    let mut selected = vec![exp];
+    configure(&mut selected, opts);
+    // The image may come from any job index of the original batch; the
+    // resume run has exactly one job, index 0.
+    checkpoint::rebase_scope(&mut img, 0);
+    checkpoint::install(ckpt_cfg, Some(img));
+    exit(run_selected(
+        &selected, opts, json_dir, jobs, scheduler, budget, false,
+    ))
+}
+
 fn main() -> ExitCode {
     let mut args = env::args().skip(1);
     let mut opts = RunOpts {
@@ -242,9 +383,39 @@ fn main() -> ExitCode {
     let mut budget: Option<Duration> = None;
     let mut list = false;
     let mut scheduler = SchedulerKind::default();
+    let mut ckpt_every: Option<Dur> = None;
+    let mut ckpt_dir: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--checkpoint-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => ckpt_every = Some(Dur::ms(n)),
+                _ => {
+                    eprintln!(
+                        "xpass-repro: --checkpoint-every needs a sim-time interval \
+                         in ms (integer >= 1)\n"
+                    );
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-dir" => match args.next() {
+                Some(d) => ckpt_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("xpass-repro: --checkpoint-dir needs a directory\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => match args.next() {
+                Some(f) => resume = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("xpass-repro: --resume needs a snapshot file\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--paper-scale" => opts.paper_scale = true,
             "--list" => list = true,
             "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
@@ -309,6 +480,41 @@ fn main() -> ExitCode {
             println!("{:<10} {}", e.name(), e.describe());
         }
         return ExitCode::SUCCESS;
+    }
+
+    let ckpt_cfg = match (ckpt_every, ckpt_dir) {
+        (Some(every), Some(dir)) => Some(CheckpointConfig {
+            every,
+            dir,
+            keep: CHECKPOINT_KEEP,
+        }),
+        (Some(_), None) => {
+            eprintln!("xpass-repro: --checkpoint-every needs --checkpoint-dir\n");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+        (None, Some(_)) => {
+            eprintln!("xpass-repro: --checkpoint-dir needs --checkpoint-every\n");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+        (None, None) => None,
+    };
+
+    if let Some(snap_path) = resume {
+        return run_resume(
+            &snap_path,
+            &targets,
+            &mut opts,
+            json_dir.as_deref(),
+            jobs,
+            scheduler,
+            budget,
+            ckpt_cfg,
+        );
+    }
+    if ckpt_cfg.is_some() {
+        checkpoint::install(ckpt_cfg, None);
     }
 
     match targets.first().map(|s| s.as_str()) {

@@ -97,6 +97,13 @@ impl Endpoint for Spinner {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+    fn snap_state(&self, _w: &mut xpass_sim::SnapWriter) {}
+    fn restore_state(
+        &mut self,
+        _r: &mut xpass_sim::SnapReader,
+    ) -> Result<(), xpass_sim::SnapError> {
+        Ok(())
+    }
 }
 
 fn spinner_factory() -> EndpointFactory {

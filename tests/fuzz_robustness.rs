@@ -1,0 +1,202 @@
+//! Structure-aware seeded fuzzing of every parser that consumes external
+//! bytes: the JSON parser, the scenario loader, and the `xpass-snap/v1`
+//! decoder/restore pipeline. Plain `cargo test` — no external fuzzer. The
+//! committed corpus in `tests/corpus/` provides valid seeds; deterministic
+//! xoshiro-seeded mutations (truncations, bit flips, splices, overwrites)
+//! derive thousands of hostile inputs from them. The contract under test:
+//! every input is either accepted or rejected with a path-carrying error —
+//! never a panic, never unbounded work.
+
+use std::path::PathBuf;
+use xpass::experiments::scenario;
+use xpass::expresspass::{xpass_factory, XPassConfig};
+use xpass::net::config::NetConfig;
+use xpass::net::ids::HostId;
+use xpass::net::network::Network;
+use xpass::net::topology::Topology;
+use xpass::sim::checkpoint;
+use xpass::sim::json;
+use xpass::sim::rng::Rng;
+use xpass::sim::snap::{self, SnapWriter};
+use xpass::sim::time::{Dur, SimTime};
+
+fn corpus(sub: &str) -> Vec<(PathBuf, Vec<u8>)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(sub);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "empty corpus {}", dir.display());
+    files
+        .into_iter()
+        .map(|p| {
+            let data = std::fs::read(&p).unwrap();
+            (p, data)
+        })
+        .collect()
+}
+
+/// One deterministic mutation of `data`: truncate, bit-flip, insert, or
+/// overwrite a short run. Structure-aware in the sense that every derived
+/// input is one small step from a valid seed, so mutations concentrate on
+/// the interesting boundaries instead of uniform noise.
+fn mutate(data: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut v = data.to_vec();
+    match rng.below(4) {
+        0 => {
+            let n = v.len() as u64;
+            v.truncate(if n == 0 { 0 } else { rng.below(n) as usize });
+        }
+        1 if !v.is_empty() => {
+            let i = rng.below(v.len() as u64) as usize;
+            v[i] ^= 1 << rng.below(8);
+        }
+        2 => {
+            let i = rng.below(v.len() as u64 + 1) as usize;
+            v.insert(i, rng.below(256) as u8);
+        }
+        _ if !v.is_empty() => {
+            let i = rng.below(v.len() as u64) as usize;
+            let end = (i + 8).min(v.len());
+            for b in &mut v[i..end] {
+                *b = rng.below(256) as u8;
+            }
+        }
+        _ => v.push(0),
+    }
+    v
+}
+
+const ROUNDS: usize = 400;
+
+#[test]
+fn json_parser_never_panics_on_mutated_corpus() {
+    for (path, data) in corpus("json") {
+        let src = String::from_utf8(data.clone()).unwrap();
+        let parsed = json::parse(&src)
+            .unwrap_or_else(|e| panic!("corpus seed {} must parse: {e}", path.display()));
+        // The printer must round-trip what the parser accepted.
+        let reprinted = json::parse(&parsed.to_string()).expect("reprint parses");
+        assert_eq!(
+            parsed,
+            reprinted,
+            "{}: print/parse round trip",
+            path.display()
+        );
+
+        let mut rng = Rng::new(0xA11CE);
+        for _ in 0..ROUNDS {
+            let m = mutate(&data, &mut rng);
+            // Accept or reject — either is fine; panicking is not.
+            if let Ok(j) = json::parse(&String::from_utf8_lossy(&m)) {
+                let _ = j.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_loader_never_panics_on_mutated_corpus() {
+    for (path, data) in corpus("scenario") {
+        let src = String::from_utf8(data.clone()).unwrap();
+        scenario::parse_str(&src)
+            .unwrap_or_else(|e| panic!("corpus seed {} must load: {e}", path.display()));
+
+        let mut rng = Rng::new(0xB0B);
+        for _ in 0..ROUNDS {
+            let m = mutate(&data, &mut rng);
+            let _ = scenario::parse_str(&String::from_utf8_lossy(&m));
+        }
+
+        // Structure-aware pass: delete each top-level key in turn — the
+        // loader must diagnose missing/ill-typed fields, not unwrap them.
+        if let Ok(json::Json::Obj(pairs)) = json::parse(&src) {
+            for k in pairs.iter().map(|(k, _)| k) {
+                let pruned: Vec<_> = pairs.iter().filter(|(n, _)| n != k).cloned().collect();
+                let _ = scenario::parse_str(&json::Json::Obj(pruned).to_string());
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_decoder_never_panics_on_mutated_corpus() {
+    for (path, data) in corpus("snap") {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let original = snap::decode_file(&data);
+        match name.as_str() {
+            // Committed hostile seeds: must be *rejected*, with an error
+            // that names where and why.
+            "bad-version.snap" => {
+                let e = original.unwrap_err();
+                assert_eq!(e.at, 10, "{e}");
+                assert!(e.msg.contains("expected 1, found 99"), "{e}");
+            }
+            "bad-crc.snap" => {
+                let e = original.unwrap_err();
+                assert!(e.msg.contains("checksum mismatch"), "{e}");
+            }
+            "truncated.snap" => {
+                assert!(original.unwrap_err().msg.contains("truncated"));
+            }
+            // Valid envelopes decode; the image-shaped ones parse too.
+            "empty-body.snap" => {
+                assert!(original.unwrap().is_empty());
+            }
+            _ => {
+                let body = original.unwrap_or_else(|e| panic!("{name} must decode: {e}"));
+                let img = checkpoint::parse_image(body)
+                    .unwrap_or_else(|e| panic!("{name} must parse as an image: {e}"));
+                assert_eq!(img.label.name, "fig01");
+                assert_eq!(img.run_call, 1);
+            }
+        }
+
+        let mut rng = Rng::new(0x5EED);
+        for _ in 0..ROUNDS {
+            let m = mutate(&data, &mut rng);
+            if let Ok(body) = snap::decode_file(&m) {
+                // A mutation that survives the CRC is overwhelmingly a
+                // no-op; whatever it is, image parsing must stay total.
+                let _ = checkpoint::parse_image(body);
+            }
+        }
+    }
+}
+
+/// Deepest layer: a real network snapshot body, mutated, fed straight to
+/// `Network::restore_from` — below the CRC envelope that normally shields
+/// it. Every outcome must be `Ok` or a path-carrying `Err`; never a panic,
+/// hang, or unbounded allocation.
+#[test]
+fn network_restore_never_panics_on_mutated_state() {
+    fn build() -> Network {
+        let topo = Topology::dumbbell(2, 10_000_000_000, Dur::us(1));
+        let cfg = NetConfig::expresspass().with_seed(5);
+        let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+        for i in 0..2u32 {
+            net.add_flow(HostId(i), HostId(2 + i), 500_000, SimTime::ZERO);
+        }
+        net
+    }
+    let mut donor = build();
+    donor.run_until(SimTime::ZERO + Dur::us(200));
+    let mut w = SnapWriter::new();
+    donor.snapshot_into(&mut w);
+    let body = w.into_body();
+
+    // Sanity: the unmutated body restores into a twin.
+    build().restore_from(&body).expect("clean body restores");
+
+    let mut rng = Rng::new(0xF00D);
+    for round in 0..ROUNDS {
+        let m = mutate(&body, &mut rng);
+        let mut twin = build();
+        if let Err(e) = twin.restore_from(&m) {
+            assert!(!e.path.is_empty(), "round {round}: error must carry a path");
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Snapshot/resume fence: for every fence experiment, a run interrupted by
+//! a checkpoint and resumed **in a fresh process** produces output — final
+//! tables on stdout and the `xpass-repro/v1` JSON record — byte-identical
+//! to the uninterrupted run, under both event schedulers. Also pins the
+//! zero-cost-when-off guarantee (checkpointing changes no output bytes),
+//! the library-level round trip of `Network::snapshot_into`/`restore_from`,
+//! and the budget-kill → resume path of the robustness story.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xpass::expresspass::{xpass_factory, XPassConfig};
+use xpass::net::config::NetConfig;
+use xpass::net::ids::HostId;
+use xpass::net::network::Network;
+use xpass::net::topology::Topology;
+use xpass::sim::checkpoint::{self, CheckpointConfig};
+use xpass::sim::event::{set_thread_scheduler, SchedulerKind};
+use xpass::sim::snap::SnapWriter;
+use xpass::sim::time::{Dur, SimTime};
+use xpass::sim::watchdog::{TripReason, WatchdogSpec};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xpass-repro"))
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xpass-snapdet-{tag}-{}", std::process::id()))
+}
+
+/// Every `.snap` file under `dir`, recursively, sorted by path.
+fn snaps(dir: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "snap") {
+                found.push(p);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Run the CLI, assert success, return (stdout, `<exp>.json` record text).
+fn run(args: &[&str], json_dir: &Path, exp: &str) -> (Vec<u8>, String) {
+    let out = bin()
+        .args(args)
+        .args(["--json"])
+        .arg(json_dir)
+        .output()
+        .expect("spawn xpass-repro");
+    assert!(
+        out.status.success(),
+        "xpass-repro {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let rec_path = json_dir.join(format!("{exp}.json"));
+    let rec = std::fs::read_to_string(&rec_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", rec_path.display()));
+    (out.stdout, rec)
+}
+
+/// The fence proper: clean run vs checkpointed run vs fresh-process resume
+/// from both the earliest and the latest kept snapshot, × both schedulers.
+fn fence(exp: &str, every_ms: &str, extra: &[&str]) {
+    for sched in ["heap", "calendar"] {
+        let root = tmp(&format!("{exp}-{sched}"));
+        let _ = std::fs::remove_dir_all(&root);
+        let ckd = root.join("ckd");
+
+        let mut clean_args = vec![exp, "--scheduler", sched];
+        clean_args.extend_from_slice(extra);
+        let (clean_out, clean_rec) = run(&clean_args, &root.join("j-clean"), exp);
+
+        let mut ck_args = clean_args.clone();
+        ck_args.extend_from_slice(&["--checkpoint-every", every_ms, "--checkpoint-dir"]);
+        let ckd_s = ckd.to_str().unwrap();
+        ck_args.push(ckd_s);
+        let (ck_out, ck_rec) = run(&ck_args, &root.join("j-ck"), exp);
+        assert_eq!(
+            clean_out, ck_out,
+            "{exp}/{sched}: checkpointing changed stdout"
+        );
+        assert_eq!(
+            clean_rec, ck_rec,
+            "{exp}/{sched}: checkpointing changed the JSON record"
+        );
+
+        let written = snaps(&ckd);
+        assert!(
+            !written.is_empty(),
+            "{exp}/{sched}: no snapshots were written under {}",
+            ckd.display()
+        );
+        // Resume must be byte-identical from ANY snapshot, not just the
+        // newest: exercise the two extremes.
+        let picks: Vec<&PathBuf> = if written.len() == 1 {
+            vec![&written[0]]
+        } else {
+            vec![&written[0], &written[written.len() - 1]]
+        };
+        for (k, snap) in picks.into_iter().enumerate() {
+            let snap_s = snap.to_str().unwrap();
+            let resume_args = vec!["--resume", snap_s, "--scheduler", sched];
+            let (r_out, r_rec) = run(&resume_args, &root.join(format!("j-r{k}")), exp);
+            assert_eq!(
+                clean_out,
+                r_out,
+                "{exp}/{sched}: resume from {} diverged on stdout",
+                snap.display()
+            );
+            assert_eq!(
+                clean_rec,
+                r_rec,
+                "{exp}/{sched}: resume from {} diverged on the JSON record",
+                snap.display()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn fig01_resumes_byte_identically() {
+    fence("fig01", "1", &[]);
+}
+
+#[test]
+fn fig10_resumes_byte_identically() {
+    fence("fig10", "5", &[]);
+}
+
+#[test]
+fn fig16_resumes_byte_identically() {
+    fence("fig16", "5", &[]);
+}
+
+#[test]
+fn faults_resumes_byte_identically() {
+    fence("faults", "5", &[]);
+}
+
+#[test]
+fn chaos_sweep_resumes_byte_identically() {
+    // --jobs 2 on the original run: snapshots taken inside the nested
+    // per-seed fan-out (scope-0-k) must still resume on a 1-job run.
+    fence("chaos_sweep", "5", &["--jobs", "2"]);
+}
+
+/// The fence experiments record no traces, so `--trace` on a checkpointed
+/// run must change nothing: the CLI notes it, writes no file, and output
+/// stays byte-identical. (Trace-recording experiments are snapshot-exempt
+/// by design: the sink is external I/O, not simulator state.)
+#[test]
+fn trace_flag_is_inert_for_fence_experiments() {
+    let root = tmp("trace-inert");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let trace = root.join("t.jsonl");
+    let trace_s = trace.to_str().unwrap();
+    let (clean_out, clean_rec) = run(&["fig10"], &root.join("j-clean"), "fig10");
+    let ckd = root.join("ckd");
+    let ckd_s = ckd.to_str().unwrap();
+    let (ck_out, ck_rec) = run(
+        &[
+            "fig10",
+            "--trace",
+            trace_s,
+            "--checkpoint-every",
+            "5",
+            "--checkpoint-dir",
+            ckd_s,
+        ],
+        &root.join("j-ck"),
+        "fig10",
+    );
+    assert_eq!(clean_out, ck_out);
+    assert_eq!(clean_rec, ck_rec);
+    assert!(!trace.exists(), "fig10 traces nothing; no file expected");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn demo_net(max_events: Option<u64>) -> Network {
+    let topo = Topology::dumbbell(2, 10_000_000_000, Dur::us(1));
+    let cfg = NetConfig::expresspass().with_seed(11);
+    let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+    net.install_ledger();
+    net.install_watchdog(WatchdogSpec {
+        max_events,
+        max_wall: None,
+        max_events_per_instant: Some(100_000),
+    });
+    for i in 0..2u32 {
+        net.add_flow(HostId(i), HostId(2 + i), 2_000_000, SimTime::ZERO);
+    }
+    net
+}
+
+const CAP: SimTime = SimTime(10_000_000_000); // 10 ms in ps
+
+/// Library-level round trip: snapshot a network mid-run, restore the bytes
+/// into a freshly built twin — under the *other* scheduler — and continue
+/// both to completion. Identical final state proves the snapshot captures
+/// everything the run depends on, in scheduler-independent bytes.
+#[test]
+fn network_state_round_trips_in_process_across_schedulers() {
+    set_thread_scheduler(SchedulerKind::Heap);
+    let mut a = demo_net(None);
+    a.run_until(SimTime::ZERO + Dur::us(300));
+    let mut w = SnapWriter::new();
+    a.snapshot_into(&mut w);
+    let body = w.into_body();
+    a.run_until_done(CAP);
+
+    set_thread_scheduler(SchedulerKind::Calendar);
+    let mut b = demo_net(None);
+    b.restore_from(&body).expect("twin restore");
+    b.run_until_done(CAP);
+
+    assert_eq!(a.flow_records(), b.flow_records());
+    assert_eq!(a.counters(), b.counters());
+    assert_eq!(a.now(), b.now());
+    assert_eq!(a.completed_count(), 2);
+}
+
+/// Satellite: a run killed by its event budget leaves a valid latest
+/// snapshot behind, and resuming with a larger budget completes
+/// byte-identically to the run that was never killed.
+#[test]
+fn budget_killed_run_resumes_to_the_unbudgeted_result() {
+    // Reference: generous budget, never trips.
+    let mut reference = demo_net(Some(10_000_000));
+    reference.run_until_done(CAP);
+    assert!(reference.watchdog_report().is_none());
+
+    let dir = tmp("budget-kill");
+    let _ = std::fs::remove_dir_all(&dir);
+    checkpoint::install(
+        Some(CheckpointConfig {
+            every: Dur::us(50),
+            dir: dir.clone(),
+            keep: 3,
+        }),
+        None,
+    );
+    // Killed run: tight budget trips the watchdog mid-flight, well after
+    // the first checkpoint (50 µs of sim time is a few hundred events).
+    let mut killed = demo_net(Some(10_000));
+    killed.run_until_done(CAP);
+    let report = killed.watchdog_report().expect("tight budget must trip");
+    assert_eq!(report.reason, TripReason::EventBudget);
+    let snap = checkpoint::latest_checkpoint().expect("a snapshot survives the kill");
+    let img = checkpoint::load_image(&snap).expect("the latest snapshot is valid");
+    assert!(img.time < CAP);
+
+    // Resume: fresh scope (the net-index counter restarts), generous
+    // budget, image armed — the twin restores mid-flight and finishes.
+    checkpoint::swap(checkpoint::current());
+    checkpoint::arm_resume(img);
+    let mut resumed = demo_net(Some(10_000_000));
+    resumed.run_until_done(CAP);
+    checkpoint::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(resumed.watchdog_report().is_none());
+    assert_eq!(reference.flow_records(), resumed.flow_records());
+    assert_eq!(reference.counters(), resumed.counters());
+    assert_eq!(reference.now(), resumed.now());
+}
