@@ -463,6 +463,7 @@ impl XPassReceiver {
             let loss = (self.period_lost as f64 / observed as f64).min(0.5);
             fb.on_update(loss);
             self.silent_periods = 0;
+            ctx.note_feedback_update();
             if ctx.trace_enabled() {
                 let snap = fb.snapshot();
                 ctx.trace(TraceEvent::FeedbackUpdate {
@@ -487,6 +488,7 @@ impl XPassReceiver {
                 // with the post-decrease w near w_min.
                 fb.reset_w_for_recovery();
                 self.silent_periods = 0;
+                ctx.note_feedback_update();
                 if ctx.trace_enabled() {
                     let snap = fb.snapshot();
                     ctx.trace(TraceEvent::FeedbackUpdate {

@@ -13,10 +13,12 @@
 //! onto the calling thread for the inline `jobs <= 1` path) so a run under
 //! `--scheduler heap --jobs 8` really does use the heap everywhere.
 //!
-//! The checkpoint runtime ([`xpass_sim::checkpoint`]) is thread-scoped the
-//! same way: the pool captures the caller's context and installs the
-//! per-job child scope (`child_of(parent, i)`) around every job, on
-//! whichever thread happens to run it. With no context installed — the
+//! The checkpoint ([`xpass_sim::checkpoint`]) and live-metrics
+//! ([`xpass_sim::metrics`]) runtimes are thread-scoped the same way: the
+//! pool captures the caller's contexts and installs the per-job child
+//! scope (`child_of(parent, i)`) around every job, on whichever thread
+//! happens to run it — so a `--jobs N` batch publishes per-job series and
+//! checkpoints under per-job directories. With no context installed — the
 //! default — this costs nothing. [`run_isolated`] additionally
 //! auto-resumes a panicked job once from its latest checkpoint.
 
@@ -27,15 +29,43 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use xpass_sim::checkpoint;
 use xpass_sim::event::{set_thread_scheduler, SchedulerKind};
+use xpass_sim::metrics;
 
-/// Run `job` with the checkpoint scope for fan-out index `i` installed,
-/// restoring the thread's previous context afterwards. No context on the
-/// caller → no context in the job (the zero-cost default).
-fn with_job_scope<R>(parent: &Option<checkpoint::Ctx>, i: usize, job: impl FnOnce() -> R) -> R {
-    let Some(p) = parent else { return job() };
-    let prev = checkpoint::swap(Some(checkpoint::child_of(p, i as u64)));
+/// The caller's thread-scoped contexts, captured once per batch and
+/// re-installed (as per-job child scopes) around every job.
+struct ParentScopes {
+    ckpt: Option<checkpoint::Ctx>,
+    metrics: Option<metrics::Ctx>,
+}
+
+impl ParentScopes {
+    fn capture() -> ParentScopes {
+        ParentScopes {
+            ckpt: checkpoint::current(),
+            metrics: metrics::current(),
+        }
+    }
+}
+
+/// Run `job` with the checkpoint and metrics scopes for fan-out index `i`
+/// installed, restoring the thread's previous contexts afterwards. No
+/// context on the caller → no context in the job (the zero-cost default).
+fn with_job_scope<R>(parent: &ParentScopes, i: usize, job: impl FnOnce() -> R) -> R {
+    let prev_ckpt = parent
+        .ckpt
+        .as_ref()
+        .map(|p| checkpoint::swap(Some(checkpoint::child_of(p, i as u64))));
+    let prev_metrics = parent
+        .metrics
+        .as_ref()
+        .map(|p| metrics::swap(Some(metrics::child_of(p, i as u64))));
     let r = job();
-    checkpoint::swap(prev);
+    if let Some(prev) = prev_ckpt {
+        checkpoint::swap(prev);
+    }
+    if let Some(prev) = prev_metrics {
+        metrics::swap(prev);
+    }
     r
 }
 
@@ -49,7 +79,7 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let n = inputs.len();
-    let parent = checkpoint::current();
+    let parent = ParentScopes::capture();
     if jobs <= 1 || n <= 1 {
         set_thread_scheduler(scheduler);
         return inputs
@@ -159,10 +189,11 @@ where
             if let Some(img) =
                 checkpoint::latest_checkpoint().and_then(|p| checkpoint::load_image(&p).ok())
             {
-                // Fresh scope state (the net-index counter restarts at 0,
+                // Fresh scope state (the net-index counters restart at 0,
                 // as in the original attempt), then arm the image so the
                 // network it targets restores at the recorded run call.
                 checkpoint::swap(checkpoint::current());
+                metrics::swap(metrics::current());
                 checkpoint::arm_resume(img);
                 resumed = true;
                 result = attempt(&f, i, x).or(result);

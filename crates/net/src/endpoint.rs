@@ -209,6 +209,13 @@ impl<'a> Ctx<'a> {
     pub fn trace(&mut self, ev: xpass_sim::trace::TraceEvent) {
         self.net.trace_emit(ev);
     }
+
+    /// Count one credit feedback-loop rate update on the live metrics
+    /// plane (no-op when metrics are off; safe to call unconditionally).
+    #[inline]
+    pub fn note_feedback_update(&mut self) {
+        self.net.metrics_note_feedback();
+    }
 }
 
 /// Helper tracking the latest armed generation of one timer kind, so

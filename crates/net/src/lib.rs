@@ -27,6 +27,10 @@
 //! * [`ledger`] — global byte/packet conservation ledger proving every
 //!   emitted packet is accounted for (delivered, dropped, fault-lost,
 //!   corrupted, in flight, queued, or stashed).
+//! * `metrics` (private) — per-network live metrics state bridging the
+//!   event loop to [`xpass_sim::metrics`]: boundary-checked sampling of
+//!   queue depths, link utilization, flow counts, ledger fates, and
+//!   watchdog headroom, published to the cross-thread plane.
 //! * [`network`] — the event loop tying everything together.
 //! * [`config`] — per-run knobs (queue capacity, ECN K, credit queue size,
 //!   host jitter model, …).
@@ -38,6 +42,7 @@ pub mod faults;
 pub mod health;
 pub mod ids;
 pub mod ledger;
+mod metrics;
 pub mod network;
 pub mod packet;
 pub mod port;

@@ -1,0 +1,506 @@
+//! Per-network live metrics state: the glue between the event loop and
+//! [`xpass_sim::metrics`].
+//!
+//! A [`MetricsState`] exists on a [`Network`](crate::network::Network)
+//! only while a metrics context is installed on the constructing thread
+//! (see [`xpass_sim::metrics::install`]); otherwise the field is `None`
+//! and every hook in the engine is a single `is_some()` check. Sampling
+//! is **boundary-checked**, not event-driven: the run loops call
+//! [`Network::metrics_advance_to`](crate::network::Network) before
+//! handling each event, and every elapsed interval boundary `k·interval`
+//! records one row of scalar samples using the state *strictly before*
+//! the events at that instant. No event is scheduled and the RNG is
+//! never touched, so a metrics-on run replays bit-identically to a
+//! metrics-off run — and identically across the heap and calendar
+//! schedulers, whose event order at equal `(time, seq)` is pinned.
+//!
+//! Wall-clock figures (events/s, span wall time) are deliberately kept
+//! out of the sampled rows — they go only to the live HTTP exposition
+//! and the progress heartbeat, so the ring (and the `--metrics` JSONL
+//! file derived from it) stays deterministic.
+
+use crate::network::Counters;
+use crate::port::EgressPort;
+use xpass_sim::metrics::{
+    self as plane, JobView, MetricId, NetMetricsHook, Progress, Registry, Ring, SeriesDump,
+};
+use xpass_sim::profile::{self, EngineReport};
+use xpass_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+use xpass_sim::time::SimTime;
+
+/// Minimum wall time between plane publications during a run; exits from
+/// the run loops force one regardless.
+const PUBLISH_EVERY: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// Fixed FCT histogram bucket bounds, in seconds.
+const FCT_BOUNDS: [f64; 7] = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// What the sampled families need to know about the network's static
+/// configuration; built by `Network` when the first boundary (or a
+/// restore) forces family registration, after monitors are installed.
+pub(crate) struct FamSpec<'a> {
+    /// All egress ports (index = dlink id).
+    pub ports: &'a [EgressPort],
+    /// Whether a conservation ledger is installed.
+    pub has_ledger: bool,
+    /// The watchdog's event budget, when one is armed with `max_events`.
+    pub watchdog_max_events: Option<u64>,
+}
+
+/// One boundary's worth of pre-computed signals, extracted by `Network`
+/// (which owns the private state) and handed here for recording.
+pub(crate) struct SampleView<'a> {
+    /// The boundary instant being recorded.
+    pub t: SimTime,
+    /// All egress ports.
+    pub ports: &'a [EgressPort],
+    /// Flows added so far.
+    pub flows_total: u64,
+    /// Flows started (at `t`) and not yet settled.
+    pub flows_active: u64,
+    /// Live flows currently marked stalled.
+    pub flows_stalled: u64,
+    /// Flows completed.
+    pub flows_completed: u64,
+    /// Flows aborted.
+    pub flows_aborted: u64,
+    /// Global counters.
+    pub counters: &'a Counters,
+    /// Events processed by the engine so far.
+    pub events_processed: u64,
+    /// Ledger fate totals `(name, pkts)`, when a ledger is installed.
+    pub ledger: Option<&'a [(&'static str, u64)]>,
+    /// Events observed by the watchdog, when one is armed.
+    pub watchdog_events: Option<u64>,
+}
+
+/// Ids of the per-boundary sampled series (registered once, on the first
+/// boundary after monitors are installed).
+struct SampledIds {
+    sim_seconds: MetricId,
+    data_q: Vec<MetricId>,
+    credit_q: Vec<Option<MetricId>>,
+    util: Vec<MetricId>,
+    flows_total: MetricId,
+    flows_active: MetricId,
+    flows_stalled: MetricId,
+    flows_completed: MetricId,
+    flows_aborted: MetricId,
+    credit_waste_ratio: MetricId,
+    credits_sent: MetricId,
+    credits_dropped: MetricId,
+    credits_wasted: MetricId,
+    data_dropped: MetricId,
+    payload_bytes: MetricId,
+    ecn_marked: MetricId,
+    engine_events: MetricId,
+    ledger: Vec<(&'static str, MetricId)>,
+    watchdog_headroom: Option<MetricId>,
+}
+
+/// The metrics side-state of one network. See the module docs for the
+/// sampling contract.
+pub(crate) struct MetricsState {
+    hook: NetMetricsHook,
+    reg: Registry,
+    ring: Ring,
+    /// Next boundary to record (`k·interval`; starts at 0).
+    next: SimTime,
+    /// Whether the sampled families have been registered yet.
+    families_done: bool,
+    sampled: Option<SampledIds>,
+    /// Per-port `tx_bytes` at the previous boundary (utilization deltas).
+    last_tx: Vec<u64>,
+    // Live-incremented series, registered at construction so hooks can
+    // fire before the first boundary.
+    health_violations: MetricId,
+    feedback_updates: MetricId,
+    fct: MetricId,
+    /// The armed watchdog's event budget (set when the headroom gauge is
+    /// registered; needed again at every sample).
+    watchdog_budget: Option<u64>,
+    /// Next sim instant the `--progress` heartbeat prints at.
+    progress_next: SimTime,
+    /// Wall clock at the first advance (events/s, ETA; never sampled).
+    wall_start: Option<std::time::Instant>,
+    last_publish: Option<std::time::Instant>,
+}
+
+impl MetricsState {
+    pub(crate) fn new(hook: NetMetricsHook) -> MetricsState {
+        let mut reg = Registry::new();
+        let health_violations = reg.counter(
+            "xpass_health_violations_total",
+            "invariant monitor violations observed",
+            &[],
+        );
+        let feedback_updates = reg.counter(
+            "xpass_feedback_updates_total",
+            "credit feedback-loop rate updates",
+            &[],
+        );
+        let fct = reg.histogram(
+            "xpass_fct_seconds",
+            "flow completion time",
+            &[],
+            &FCT_BOUNDS,
+        );
+        let progress_next = SimTime::ZERO
+            + hook
+                .spec
+                .progress_every
+                .unwrap_or(xpass_sim::time::Dur::ZERO);
+        MetricsState {
+            hook,
+            reg,
+            ring: Ring::new(0),
+            next: SimTime::ZERO,
+            families_done: false,
+            sampled: None,
+            last_tx: Vec::new(),
+            health_violations,
+            feedback_updates,
+            fct,
+            watchdog_budget: None,
+            progress_next,
+            wall_start: None,
+            last_publish: None,
+        }
+    }
+
+    /// Next boundary to record.
+    #[inline]
+    pub(crate) fn next_boundary(&self) -> SimTime {
+        self.next
+    }
+
+    pub(crate) fn note_health_violation(&mut self) {
+        self.reg.inc(self.health_violations);
+    }
+
+    pub(crate) fn note_feedback_update(&mut self) {
+        self.reg.inc(self.feedback_updates);
+    }
+
+    pub(crate) fn observe_fct(&mut self, secs: f64) {
+        self.reg.observe(self.fct, secs);
+    }
+
+    /// Register the sampled families (idempotent). Deferred to the first
+    /// boundary so installed monitors — ledger, watchdog — are known;
+    /// after this the ring's row width is fixed.
+    pub(crate) fn ensure_families(&mut self, fam: &FamSpec<'_>) {
+        if self.families_done {
+            return;
+        }
+        self.families_done = true;
+        self.ring = Ring::new(self.hook.spec.ring_cap);
+        let r = &mut self.reg;
+        let sim_seconds = r.gauge("xpass_sim_seconds", "simulation time reached", &[]);
+        let mut data_q = Vec::with_capacity(fam.ports.len());
+        let mut credit_q = Vec::with_capacity(fam.ports.len());
+        let mut util = Vec::with_capacity(fam.ports.len());
+        for (i, p) in fam.ports.iter().enumerate() {
+            let is = i.to_string();
+            let labels: &[(&str, &str)] = &[("dlink", &is)];
+            data_q.push(r.gauge("xpass_data_queue_bytes", "data queue depth", labels));
+            credit_q.push(
+                p.credit
+                    .is_some()
+                    .then(|| r.gauge("xpass_credit_queue_pkts", "credit queue depth", labels)),
+            );
+            util.push(r.gauge(
+                "xpass_link_utilization",
+                "fraction of link capacity used over the last interval",
+                labels,
+            ));
+        }
+        let sampled = SampledIds {
+            sim_seconds,
+            data_q,
+            credit_q,
+            util,
+            flows_total: r.gauge("xpass_flows_total", "flows added", &[]),
+            flows_active: r.gauge("xpass_flows_active", "flows started and unsettled", &[]),
+            flows_stalled: r.gauge("xpass_flows_stalled", "live flows marked stalled", &[]),
+            flows_completed: r.gauge("xpass_flows_completed", "flows completed", &[]),
+            flows_aborted: r.gauge("xpass_flows_aborted", "flows aborted", &[]),
+            credit_waste_ratio: r.gauge(
+                "xpass_credit_waste_ratio",
+                "credits wasted / credits sent",
+                &[],
+            ),
+            credits_sent: r.counter("xpass_credits_sent_total", "credits emitted", &[]),
+            credits_dropped: r.counter("xpass_credits_dropped_total", "credits dropped", &[]),
+            credits_wasted: r.counter("xpass_credits_wasted_total", "credits wasted", &[]),
+            data_dropped: r.counter("xpass_data_dropped_total", "data packets dropped", &[]),
+            payload_bytes: r.counter("xpass_payload_bytes_total", "payload bytes delivered", &[]),
+            ecn_marked: r.counter("xpass_ecn_marked_total", "data packets ECN-marked", &[]),
+            engine_events: r.counter("xpass_engine_events_total", "events processed", &[]),
+            ledger: if fam.has_ledger {
+                [
+                    "emitted",
+                    "delivered",
+                    "queue_dropped",
+                    "fault_lost",
+                    "corrupted",
+                    "in_flight",
+                    "queued",
+                    "stashed",
+                ]
+                .iter()
+                .map(|fate| {
+                    (
+                        *fate,
+                        r.gauge(
+                            "xpass_ledger_pkts",
+                            "conservation ledger packet fates",
+                            &[("fate", fate)],
+                        ),
+                    )
+                })
+                .collect()
+            } else {
+                Vec::new()
+            },
+            watchdog_headroom: fam.watchdog_max_events.map(|_| {
+                r.gauge(
+                    "xpass_watchdog_headroom_events",
+                    "events left before the watchdog budget trips",
+                    &[],
+                )
+            }),
+        };
+        self.sampled = Some(sampled);
+        self.watchdog_budget = fam.watchdog_max_events;
+        self.last_tx = fam.ports.iter().map(|p| p.tx_bytes).collect();
+    }
+
+    /// Record one boundary row and advance `next`. Families must have
+    /// been ensured. `view.t` must equal `next`.
+    pub(crate) fn sample(&mut self, view: &SampleView<'_>) {
+        debug_assert_eq!(view.t, self.next);
+        // Taken out so `ids` and `self.reg` can be used together.
+        let ids = self.sampled.take().expect("ensure_families first");
+        let interval = self.hook.spec.interval;
+        self.reg.set(ids.sim_seconds, view.t.as_secs_f64());
+        for (i, p) in view.ports.iter().enumerate() {
+            self.reg.set(ids.data_q[i], p.data.len_bytes() as f64);
+            if let (Some(id), Some(cq)) = (ids.credit_q[i], p.credit.as_ref()) {
+                self.reg.set(id, cq.len() as f64);
+            }
+            let delta = p.tx_bytes.saturating_sub(self.last_tx[i]);
+            self.last_tx[i] = p.tx_bytes;
+            let cap_bytes = p.speed_bps as f64 / 8.0 * interval.as_secs_f64();
+            let u = if cap_bytes > 0.0 {
+                delta as f64 / cap_bytes
+            } else {
+                0.0
+            };
+            self.reg.set(ids.util[i], u);
+        }
+        self.reg.set(ids.flows_total, view.flows_total as f64);
+        self.reg.set(ids.flows_active, view.flows_active as f64);
+        self.reg.set(ids.flows_stalled, view.flows_stalled as f64);
+        self.reg
+            .set(ids.flows_completed, view.flows_completed as f64);
+        self.reg.set(ids.flows_aborted, view.flows_aborted as f64);
+        let c = view.counters;
+        let waste = if c.credits_sent > 0 {
+            c.credits_wasted as f64 / c.credits_sent as f64
+        } else {
+            0.0
+        };
+        self.reg.set(ids.credit_waste_ratio, waste);
+        self.reg.set_counter(ids.credits_sent, c.credits_sent);
+        self.reg.set_counter(ids.credits_dropped, c.credits_dropped);
+        self.reg.set_counter(ids.credits_wasted, c.credits_wasted);
+        self.reg.set_counter(ids.data_dropped, c.data_dropped);
+        self.reg.set_counter(ids.payload_bytes, c.payload_delivered);
+        self.reg.set_counter(ids.ecn_marked, c.ecn_marked);
+        self.reg
+            .set_counter(ids.engine_events, view.events_processed);
+        if let Some(fates) = view.ledger {
+            for ((_, id), (_, pkts)) in ids.ledger.iter().zip(fates) {
+                self.reg.set(*id, *pkts as f64);
+            }
+        }
+        if let (Some(id), Some(budget), Some(seen)) = (
+            ids.watchdog_headroom,
+            self.watchdog_budget,
+            view.watchdog_events,
+        ) {
+            self.reg.set(id, budget.saturating_sub(seen) as f64);
+        }
+        self.sampled = Some(ids);
+        self.ring.record(view.t.as_ps(), self.reg.scalar_values());
+        self.next = view.t + interval;
+    }
+
+    /// Overlay current state onto the instantaneous sampled gauges ahead
+    /// of a *forced* publish, so the final scrape matches the end-of-run
+    /// report even when the run ended between boundaries. Interval-defined
+    /// series (utilization, waste ratio) keep their last boundary value
+    /// and `last_tx` is untouched; every gauge here is re-set by the next
+    /// boundary [`sample`](Self::sample), so ring contents — and therefore
+    /// resumed series — are unaffected. Callers invoke this only at
+    /// deterministic points (run-call exits), keeping registry state
+    /// reproducible for snapshots. A no-op before the first boundary.
+    pub(crate) fn refresh_final(&mut self, view: &SampleView<'_>) {
+        let Some(ids) = self.sampled.take() else {
+            return;
+        };
+        self.reg.set(ids.sim_seconds, view.t.as_secs_f64());
+        for (i, p) in view.ports.iter().enumerate() {
+            self.reg.set(ids.data_q[i], p.data.len_bytes() as f64);
+            if let (Some(id), Some(cq)) = (ids.credit_q[i], p.credit.as_ref()) {
+                self.reg.set(id, cq.len() as f64);
+            }
+        }
+        self.reg.set(ids.flows_total, view.flows_total as f64);
+        self.reg.set(ids.flows_active, view.flows_active as f64);
+        self.reg.set(ids.flows_stalled, view.flows_stalled as f64);
+        self.reg
+            .set(ids.flows_completed, view.flows_completed as f64);
+        self.reg.set(ids.flows_aborted, view.flows_aborted as f64);
+        let c = view.counters;
+        self.reg.set_counter(ids.credits_sent, c.credits_sent);
+        self.reg.set_counter(ids.credits_dropped, c.credits_dropped);
+        self.reg.set_counter(ids.credits_wasted, c.credits_wasted);
+        self.reg.set_counter(ids.data_dropped, c.data_dropped);
+        self.reg.set_counter(ids.payload_bytes, c.payload_delivered);
+        self.reg.set_counter(ids.ecn_marked, c.ecn_marked);
+        self.reg
+            .set_counter(ids.engine_events, view.events_processed);
+        if let Some(fates) = view.ledger {
+            for ((_, id), (_, pkts)) in ids.ledger.iter().zip(fates) {
+                self.reg.set(*id, *pkts as f64);
+            }
+        }
+        if let (Some(id), Some(budget), Some(seen)) = (
+            ids.watchdog_headroom,
+            self.watchdog_budget,
+            view.watchdog_events,
+        ) {
+            self.reg.set(id, budget.saturating_sub(seen) as f64);
+        }
+        self.sampled = Some(ids);
+    }
+
+    /// `--progress` heartbeat: true when a line is due at boundary `t`
+    /// (advances the next-heartbeat instant).
+    pub(crate) fn heartbeat_due(&mut self, t: SimTime) -> bool {
+        let Some(every) = self.hook.spec.progress_every else {
+            return false;
+        };
+        if every.is_zero() || t < self.progress_next {
+            return false;
+        }
+        while self.progress_next <= t {
+            self.progress_next += every;
+        }
+        true
+    }
+
+    /// The plane key this network publishes under (also the heartbeat
+    /// label).
+    pub(crate) fn plane_key(&self) -> String {
+        self.hook.plane_key()
+    }
+
+    /// Wall seconds since the first advance (events/s, ETA; lazily
+    /// started so construction time is excluded).
+    pub(crate) fn wall_elapsed(&mut self) -> f64 {
+        self.wall_start
+            .get_or_insert_with(std::time::Instant::now)
+            .elapsed()
+            .as_secs_f64()
+    }
+
+    /// Whether a (throttled) plane publication is due.
+    pub(crate) fn publish_due(&self, force: bool) -> bool {
+        if self.hook.plane.is_none() {
+            return false;
+        }
+        force
+            || self
+                .last_publish
+                .is_none_or(|at| at.elapsed() >= PUBLISH_EVERY)
+    }
+
+    /// Publish the current views to the plane (call after
+    /// [`publish_due`](Self::publish_due)).
+    pub(crate) fn publish(&mut self, mut engine: EngineReport, health: String, progress: Progress) {
+        let Some(p) = self.hook.plane.clone() else {
+            return;
+        };
+        self.last_publish = Some(std::time::Instant::now());
+        let net_label = self.hook.net_index.to_string();
+        let extra: &[(&str, &str)] = &[("job", &self.hook.job), ("net", &net_label)];
+        let mut exposition = self.reg.render_prometheus(extra);
+        let spans = profile::snapshot_spans();
+        if !spans.is_empty() {
+            exposition.push_str(&plane::render_span_samples(&spans, extra));
+            engine.spans = spans;
+        }
+        let view = JobView {
+            exposition,
+            health: Some(health),
+            engine: engine.to_json().to_string(),
+            progress,
+            series_jsonl: plane::encode_jsonl(&SeriesDump {
+                job: self.hook.job.clone(),
+                net: self.hook.net_index,
+                interval_ps: self.hook.spec.interval.as_ps(),
+                keys: self.reg.scalar_keys(),
+                ticks: self.ring.iter().map(|(t, r)| (t, r.to_vec())).collect(),
+            }),
+        };
+        p.publish(&self.plane_key(), view);
+    }
+
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.next.0);
+        w.bool(self.families_done);
+        w.u64(self.progress_next.0);
+        w.seq(&self.last_tx, |w, b| w.u64(*b));
+        self.reg.snap(w);
+        self.ring.snap(w);
+    }
+
+    /// Overlay snapshot state. `fam` re-registers the sampled families
+    /// first when the donor had passed its first boundary, so the series
+    /// sets line up; mismatches surface as [`SnapError`]s.
+    pub(crate) fn restore(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        fam: &FamSpec<'_>,
+    ) -> Result<(), SnapError> {
+        self.next = SimTime(r.u64()?);
+        let donor_families = r.bool()?;
+        self.progress_next = SimTime(r.u64()?);
+        if donor_families {
+            self.ensure_families(fam);
+        }
+        r.enter("last_tx");
+        let n = r.seq_len(8)?;
+        if donor_families && n != self.last_tx.len() {
+            return Err(r.err(format!(
+                "port count mismatch: configuration has {}, snapshot has {n}",
+                self.last_tx.len()
+            )));
+        }
+        let tx = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
+        if donor_families {
+            self.last_tx = tx;
+        }
+        r.leave();
+        r.enter("registry");
+        self.reg.restore(r)?;
+        r.leave();
+        r.enter("ring");
+        self.ring.restore(r)?;
+        r.leave();
+        Ok(())
+    }
+}

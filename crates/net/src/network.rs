@@ -22,6 +22,7 @@ use crate::faults::{FaultKind, FaultPlan, FaultState, FAULT_RNG_SALT};
 use crate::health::{HealthReport, InvariantSpec, InvariantState};
 use crate::ids::{DLinkId, FlowId, HostId, NodeId, Side};
 use crate::ledger::{Ledger, LedgerEntry, LedgerReport};
+use crate::metrics::{FamSpec, MetricsState, SampleView};
 use crate::packet::{Packet, PktKind};
 use crate::port::{EgressPort, TxDecision};
 use crate::queue::{CreditQueue, DataQueue, EcnCfg, PhantomQueue};
@@ -31,7 +32,8 @@ use crate::topology::Topology;
 use std::collections::HashMap;
 use xpass_sim::checkpoint::{self, NetHook};
 use xpass_sim::event::EventQueue;
-use xpass_sim::profile::EngineReport;
+use xpass_sim::metrics as sim_metrics;
+use xpass_sim::profile::{self, EngineReport};
 use xpass_sim::rng::Rng;
 use xpass_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use xpass_sim::stats::TimeSeries;
@@ -342,6 +344,13 @@ pub struct Network {
     /// case. Drives periodic snapshot writes and the one-shot resume
     /// overlay at the recorded run call.
     ckpt: Option<NetHook>,
+    /// Live metrics state; `None` unless a metrics context is installed on
+    /// this thread (see [`xpass_sim::metrics`]). Sampling is
+    /// boundary-checked in the run loops, observation-only (never touches
+    /// the RNG or event queue), and every hook is gated on `is_some()`, so
+    /// metrics-off runs are byte-identical — and metrics-on runs produce
+    /// identical simulation results to metrics-off ones.
+    metrics: Option<Box<MetricsState>>,
     /// Events handled per kind (indexed by [`ev_kind_idx`]); always on —
     /// plain counters that cannot affect simulation state.
     ev_counts: [u64; 8],
@@ -436,6 +445,7 @@ impl Network {
             watchdog_report: None,
             phase: "run",
             ckpt: checkpoint::register_network(),
+            metrics: sim_metrics::register().map(|h| Box::new(MetricsState::new(h))),
             ev_counts: [0; 8],
             wall_secs: 0.0,
             counters: Counters::default(),
@@ -688,6 +698,10 @@ impl Network {
             sim_secs: self.now.as_secs_f64(),
             scheduler: self.events.scheduler().name(),
             bucket_bits: self.events.bucket_bits(),
+            // Spans are attributed per harness thread, not per network;
+            // the metrics publisher overlays them (keeping this report —
+            // and any stdout derived from it — independent of profiling).
+            spans: Vec::new(),
         }
     }
 
@@ -729,16 +743,29 @@ impl Network {
             return; // a previous trip already aborted this run
         }
         let wall = std::time::Instant::now();
+        let sim_start = self.now;
         while let Some((et, ev)) = self.events.pop_before(t) {
+            if self.metrics.is_some() {
+                // Record every sample boundary ≤ et using the state
+                // strictly before the events at that instant.
+                self.metrics_advance_to(et);
+            }
             self.now = et;
             self.handle(ev);
             if self.watchdog.is_some() && self.watchdog_tripped() {
                 self.wall_secs += wall.elapsed().as_secs_f64();
+                profile::add_sim(self.now.since(sim_start));
+                if self.metrics.is_some() {
+                    self.metrics_publish(true);
+                }
                 return;
             }
             if self.ckpt.as_ref().is_some_and(|h| h.due(et)) {
                 self.write_checkpoint();
             }
+        }
+        if self.metrics.is_some() {
+            self.metrics_advance_to(t);
         }
         // After a resume overlay `now` may already be past `t`; never
         // rewind simulation time.
@@ -746,6 +773,10 @@ impl Network {
             self.now = t;
         }
         self.wall_secs += wall.elapsed().as_secs_f64();
+        profile::add_sim(self.now.since(sim_start));
+        if self.metrics.is_some() {
+            self.metrics_publish(true);
+        }
     }
 
     /// Run until every flow added so far (and any added by controllers
@@ -756,8 +787,13 @@ impl Network {
             self.ckpt_enter_run();
         }
         let wall = std::time::Instant::now();
+        let sim_start = self.now;
         let done_at = self.run_until_done_loop(cap);
         self.wall_secs += wall.elapsed().as_secs_f64();
+        profile::add_sim(self.now.since(sim_start));
+        if self.metrics.is_some() {
+            self.metrics_publish(true);
+        }
         done_at
     }
 
@@ -770,8 +806,14 @@ impl Network {
             match self.events.pop() {
                 Some((et, ev)) => {
                     if et > cap {
+                        if self.metrics.is_some() {
+                            self.metrics_advance_to(cap);
+                        }
                         self.now = cap;
                         return cap;
+                    }
+                    if self.metrics.is_some() {
+                        self.metrics_advance_to(et);
                     }
                     self.now = et;
                     let before = self.completed + self.aborted;
@@ -825,6 +867,164 @@ impl Network {
         self.snapshot_into(&mut w);
         hook.write(self.now, &w.into_body());
         self.ckpt = Some(hook);
+    }
+
+    // ----- live metrics ------------------------------------------------------
+
+    /// The static facts the sampled metric families are built from; only
+    /// meaningful once monitors (ledger, watchdog) are installed.
+    fn metrics_fam_spec(&self) -> FamSpec<'_> {
+        FamSpec {
+            ports: &self.ports,
+            has_ledger: self.ledger.is_some(),
+            watchdog_max_events: self.watchdog.as_ref().and_then(|w| w.spec().max_events),
+        }
+    }
+
+    /// Flows started at `t` and not yet settled, and how many of those
+    /// are currently marked stalled.
+    fn metrics_flow_counts(&self, t: SimTime) -> (u64, u64) {
+        let (mut active, mut stalled) = (0u64, 0u64);
+        for f in &self.flows {
+            if !f.done && !f.aborted && f.info.start <= t {
+                active += 1;
+                if f.stalled {
+                    stalled += 1;
+                }
+            }
+        }
+        (active, stalled)
+    }
+
+    /// Record every sample boundary `k·interval ≤ limit` that has not
+    /// been recorded yet, using the current (pre-`limit`-events) state.
+    /// Observation-only: no events scheduled, no RNG draws. Only called
+    /// with metrics installed.
+    fn metrics_advance_to(&mut self, limit: SimTime) {
+        let mut m = self.metrics.take().expect("metrics advance without state");
+        while m.next_boundary() <= limit {
+            m.ensure_families(&self.metrics_fam_spec());
+            let t = m.next_boundary();
+            let (active, stalled) = self.metrics_flow_counts(t);
+            let fates = self.ledger.as_ref().map(|_| {
+                let lr = self.ledger_report();
+                [
+                    ("emitted", lr.emitted.pkts),
+                    ("delivered", lr.delivered.pkts),
+                    ("queue_dropped", lr.queue_dropped.pkts),
+                    ("fault_lost", lr.fault_lost.pkts),
+                    ("corrupted", lr.corrupted.pkts),
+                    ("in_flight", lr.in_flight.pkts),
+                    ("queued", lr.queued.pkts),
+                    ("stashed", lr.stashed.pkts),
+                ]
+            });
+            m.sample(&SampleView {
+                t,
+                ports: &self.ports,
+                flows_total: self.flows.len() as u64,
+                flows_active: active,
+                flows_stalled: stalled,
+                flows_completed: self.completed as u64,
+                flows_aborted: self.aborted as u64,
+                counters: &self.counters,
+                events_processed: self.events.events_processed(),
+                ledger: fates.as_ref().map(|f| f.as_slice()),
+                watchdog_events: self.watchdog.as_ref().map(|w| w.events_observed()),
+            });
+            if m.heartbeat_due(t) {
+                let wall = m.wall_elapsed();
+                let events = self.events.events_processed();
+                let eps = if wall > 0.0 {
+                    events as f64 / wall
+                } else {
+                    0.0
+                };
+                let done = self.completed + self.aborted;
+                let total = self.flows.len();
+                let eta = if done > 0 && total > done {
+                    format!("{:.1}s", wall * (total - done) as f64 / done as f64)
+                } else {
+                    "?".to_string()
+                };
+                eprintln!(
+                    "xpass-repro: [{}] t={:.3}s events={events} ({eps:.0}/s) \
+                     flows {done}/{total} active={active} eta={eta}",
+                    m.plane_key(),
+                    t.as_secs_f64(),
+                );
+            }
+        }
+        self.metrics = Some(m);
+        self.metrics_publish(false);
+    }
+
+    /// Publish the current views to the metrics plane — wall-throttled
+    /// unless `force` (the run loops force one at every exit, so the last
+    /// scrape always matches the end-of-run reports). Only called with
+    /// metrics installed.
+    fn metrics_publish(&mut self, force: bool) {
+        let mut m = self.metrics.take().expect("metrics publish without state");
+        if m.publish_due(force) {
+            let wall = m.wall_elapsed();
+            let events = self.events.events_processed();
+            let (active, stalled) = self.metrics_flow_counts(self.now);
+            if force {
+                // Run-call exit: bring the instantaneous gauges up to the
+                // final state so the last scrape matches the reports.
+                let fates = self.ledger.as_ref().map(|_| {
+                    let lr = self.ledger_report();
+                    [
+                        ("emitted", lr.emitted.pkts),
+                        ("delivered", lr.delivered.pkts),
+                        ("queue_dropped", lr.queue_dropped.pkts),
+                        ("fault_lost", lr.fault_lost.pkts),
+                        ("corrupted", lr.corrupted.pkts),
+                        ("in_flight", lr.in_flight.pkts),
+                        ("queued", lr.queued.pkts),
+                        ("stashed", lr.stashed.pkts),
+                    ]
+                });
+                m.refresh_final(&SampleView {
+                    t: self.now,
+                    ports: &self.ports,
+                    flows_total: self.flows.len() as u64,
+                    flows_active: active,
+                    flows_stalled: stalled,
+                    flows_completed: self.completed as u64,
+                    flows_aborted: self.aborted as u64,
+                    counters: &self.counters,
+                    events_processed: events,
+                    ledger: fates.as_ref().map(|f| f.as_slice()),
+                    watchdog_events: self.watchdog.as_ref().map(|w| w.events_observed()),
+                });
+            }
+            let progress = sim_metrics::Progress {
+                sim_secs: self.now.as_secs_f64(),
+                events,
+                events_per_sec: if wall > 0.0 {
+                    events as f64 / wall
+                } else {
+                    0.0
+                },
+                flows_total: self.flows.len() as u64,
+                flows_active: active,
+                flows_completed: self.completed as u64,
+                flows_aborted: self.aborted as u64,
+            };
+            let health = self.health_report().to_json().to_string();
+            m.publish(self.engine_report(), health, progress);
+        }
+        self.metrics = Some(m);
+    }
+
+    /// Count one credit feedback-loop rate update (no-op without metrics;
+    /// called unconditionally by endpoints through `Ctx`).
+    #[inline]
+    pub(crate) fn metrics_note_feedback(&mut self) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.note_feedback_update();
+        }
     }
 
     /// Observe one handled event on the installed watchdog; on a trip,
@@ -1100,6 +1300,9 @@ impl Network {
             f.fct = Some(fct);
             self.completed += 1;
             self.pending.push(Pending::Completed(flow));
+            if let Some(m) = self.metrics.as_mut() {
+                m.observe_fct(fct.as_secs_f64());
+            }
             if self.trace.is_some() {
                 let ev = TraceEvent::FlowCompleted {
                     at: self.now,
@@ -1497,6 +1700,9 @@ impl Network {
                                 inv.on_switch_data_drop(now, dlink.0, bytes)
                             };
                             if let Some(ev) = violation {
+                                if let Some(m) = self.metrics.as_mut() {
+                                    m.note_health_violation();
+                                }
                                 if let Some(sink) = self.trace.as_mut() {
                                     sink.record(&ev);
                                 }
@@ -1760,6 +1966,9 @@ impl Network {
             w.u32(k);
             self.port_series[&k].snap(w);
         }
+        // Metrics state rides along so a resumed run emits exactly the
+        // series an uninterrupted one would (same boundaries, same ring).
+        w.opt(self.metrics.as_deref(), |w, m| m.snap(w));
     }
 
     /// Overlay a snapshot body written by [`snapshot_into`](Self::snapshot_into)
@@ -2003,6 +2212,17 @@ impl Network {
                     return Err(r.err(format!("tracked port {k} not in configuration")));
                 }
             }
+        }
+        r.leave();
+        r.enter("metrics");
+        let has = r.bool()?;
+        presence(&r, "metrics", self.metrics.is_some(), has)?;
+        if let Some(mut m) = self.metrics.take() {
+            // Taken out so the restore can re-register the sampled
+            // families against `&self` without aliasing.
+            let res = m.restore(&mut r, &self.metrics_fam_spec());
+            self.metrics = Some(m);
+            res?;
         }
         r.leave();
         // Still inside the "network" context: a trailing-garbage error must

@@ -1,0 +1,279 @@
+//! Minimal hand-rolled HTTP/1.1 server for the live metrics plane.
+//!
+//! Zero dependencies: a std [`TcpListener`] on a background thread,
+//! non-blocking accept with a sleep poll, one short-lived connection at a
+//! time (`Connection: close`). It serves only pre-rendered text pulled
+//! from a [`Plane`](crate::metrics::Plane) — request handling never
+//! touches live simulation state, so a slow scraper cannot perturb a run.
+//!
+//! Routes: `/metrics` (Prometheus text), `/health`, `/engine`,
+//! `/progress` (JSON), and `/` (plain-text index).
+//!
+//! The request parser ([`parse_request`]) is deliberately strict and
+//! bounded — it is fuzzed in `tests/fuzz_robustness.rs` with the same
+//! never-panic contract as the snapshot and JSON decoders.
+
+use crate::metrics::Plane;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum bytes of request head (request line + headers) we will read.
+pub const MAX_HEAD_BYTES: usize = 8192;
+/// Maximum number of header lines accepted.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP/1.x request head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (e.g. `GET`).
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+}
+
+/// Parse an HTTP/1.x request head from raw bytes (everything up to and
+/// excluding the blank line). Total: malformed input yields `Err`, never
+/// a panic. Bounds: [`MAX_HEAD_BYTES`], [`MAX_HEADERS`].
+pub fn parse_request(head: &[u8]) -> Result<Request, String> {
+    if head.len() > MAX_HEAD_BYTES {
+        return Err(format!("request head over {MAX_HEAD_BYTES} bytes"));
+    }
+    let text = std::str::from_utf8(head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().ok_or("request line missing target")?;
+    let version = parts.next().ok_or("request line missing version")?;
+    if parts.next().is_some() {
+        return Err("request line has too many fields".to_string());
+    }
+    if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(format!("invalid method {method:?}"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version:?}"));
+    }
+    if !target.starts_with('/') {
+        return Err(format!("target {target:?} is not origin-form"));
+    }
+    let path = target
+        .split(['?', '#'])
+        .next()
+        .unwrap_or(target)
+        .to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(format!("more than {MAX_HEADERS} headers"));
+        }
+        let (name, value) = line.split_once(':').ok_or("header line without ':'")?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("invalid header name {name:?}"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        headers,
+    })
+}
+
+/// A running metrics HTTP server. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:9100`; port 0 picks a free port) and
+    /// serve `plane` on a background thread.
+    pub fn serve(addr: &str, plane: Plane) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("xpass-http".to_string())
+            .spawn(move || accept_loop(listener, plane, stop2))
+            .expect("spawn http thread");
+        Ok(Server {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, plane: Plane, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: responses are tiny pre-rendered strings,
+                // so one connection at a time keeps the server trivial.
+                let _ = handle_conn(stream, &plane);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Read the request head (up to the blank line or [`MAX_HEAD_BYTES`]).
+fn read_head(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        if let Some(i) = find_blank_line(&buf) {
+            buf.truncate(i);
+            return Ok(buf);
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Ok(buf); // parse_request will reject the oversize head
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(buf);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn handle_conn(mut stream: TcpStream, plane: &Plane) -> std::io::Result<()> {
+    let head = read_head(&mut stream)?;
+    let resp = match parse_request(&head) {
+        Err(e) => response(
+            400,
+            "text/plain; charset=utf-8",
+            &format!("bad request: {e}\n"),
+        ),
+        Ok(req) if req.method != "GET" && req.method != "HEAD" => {
+            response(405, "text/plain; charset=utf-8", "method not allowed\n")
+        }
+        Ok(req) => {
+            let body_included = req.method == "GET";
+            let (status, ctype, body) = route(&req.path, plane);
+            let mut r = response(status, ctype, &body);
+            if !body_included {
+                let head_end = find_blank_line(&r).map(|i| i + 4).unwrap_or(r.len());
+                r.truncate(head_end);
+            }
+            return stream.write_all(&r);
+        }
+    };
+    stream.write_all(&resp)
+}
+
+fn route(path: &str, plane: &Plane) -> (u16, &'static str, String) {
+    match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            plane.render_metrics(),
+        ),
+        "/health" => (200, "application/json", plane.render_health()),
+        "/engine" => (200, "application/json", plane.render_engine()),
+        "/progress" => (200, "application/json", plane.render_progress()),
+        "/" => (
+            200,
+            "text/plain; charset=utf-8",
+            "xpass-repro live metrics plane\n\
+             /metrics   Prometheus text exposition\n\
+             /health    per-job health reports (JSON)\n\
+             /engine    per-job engine reports (JSON)\n\
+             /progress  per-job run progress (JSON)\n"
+                .to_string(),
+        ),
+        _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+    }
+}
+
+fn response(status: u16, ctype: &str, body: &str) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse_request(b"GET /metrics?x=1 HTTP/1.1\r\nHost: a\r\nUser-Agent: t\r\n")
+            .expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.headers[0], ("host".to_string(), "a".to_string()));
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(parse_request(b"").is_err());
+        assert!(parse_request(b"GET").is_err());
+        assert!(parse_request(b"GET /\r\n").is_err());
+        assert!(parse_request(b"get / HTTP/1.1\r\n").is_err());
+        assert!(parse_request(b"GET metrics HTTP/1.1\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/2\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/1.1 extra\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/1.1\r\nno-colon-here\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/1.1\r\n\xffbad: utf8\r\n").is_err());
+        let big = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(parse_request(&big).is_err());
+        let many = format!("GET / HTTP/1.1\r\n{}", "h: v\r\n".repeat(MAX_HEADERS + 1));
+        assert!(parse_request(many.as_bytes()).is_err());
+    }
+}

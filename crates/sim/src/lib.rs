@@ -30,7 +30,16 @@
 //!   [`trace::TraceSink`]s (ring buffer, JSONL file); zero-cost when no
 //!   sink is installed.
 //! * [`profile`] — [`profile::EngineReport`] summarizing engine activity
-//!   (events per kind, peak heap depth, wall-clock events/sec).
+//!   (events per kind, peak heap depth, wall-clock events/sec), plus a
+//!   thread-scoped nested span profiler with wall + sim-time attribution.
+//! * [`metrics`] — live metrics plane: counter/gauge/histogram registry
+//!   with interned labels, a sim-time sampler ring, the
+//!   `xpass-metrics/v1` JSONL series format, Prometheus-style text
+//!   exposition, and the cross-thread [`metrics::Plane`]; zero-cost when
+//!   no context is installed.
+//! * [`http`] — minimal hand-rolled HTTP/1.1 server (std `TcpListener`,
+//!   no deps) serving the plane at `/metrics`, `/health`, `/engine`,
+//!   `/progress`.
 //! * [`watchdog`] — hang/livelock detection: event-count, wall-clock, and
 //!   sim-time-not-advancing budgets that abort a stuck run with a
 //!   diagnostic [`watchdog::WatchdogReport`].
@@ -40,7 +49,9 @@ pub mod bucket;
 pub mod calendar;
 pub mod checkpoint;
 pub mod event;
+pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod profile;
 pub mod rng;
 pub mod snap;

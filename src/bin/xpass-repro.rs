@@ -50,6 +50,22 @@
 //! through the same pipeline: `--seed`, `--json`, `--trace`, and `--jobs`
 //! all apply.
 //!
+//! `--metrics <file>` turns on the live metrics plane and writes every
+//! network's sampled time-series (schema `xpass-metrics/v1`, JSON Lines)
+//! at the end of the run, in experiment-selection order. The sampler runs
+//! on simulation time (`--metrics-interval-ms`, default 1 ms) and is
+//! observation-only: results are identical with or without it, and runs
+//! with all metrics flags off remain byte-identical to a build without
+//! the subsystem. `--http-addr <ip:port>` additionally serves the live
+//! plane over HTTP while the run executes: `/metrics` (Prometheus text
+//! exposition), `/health`, `/engine`, and `/progress` (JSON), one labelled
+//! section per job under `--jobs N`. `serve <experiment...>` is the
+//! long-lived variant: it keeps the process alive (still serving the
+//! final state) after the runs complete; `--addr` is an alias for
+//! `--http-addr` (default `127.0.0.1:0`, the bound address is printed on
+//! stderr). `--progress <secs>` prints a one-line stderr heartbeat every
+//! N simulated seconds (sim time, events/s, flow counts, ETA).
+//!
 //! `--checkpoint-every <sim-ms> --checkpoint-dir <dir>` writes a
 //! `xpass-snap/v1` snapshot of every simulated network each `<sim-ms>`
 //! milliseconds of *simulation* time (atomic write + rename, last few
@@ -69,7 +85,10 @@ use std::time::Duration;
 use xpass::experiments::{parallel, registry, scenario, Experiment, ExperimentOutput};
 use xpass::sim::checkpoint::{self, CheckpointConfig, RunLabel};
 use xpass::sim::event::SchedulerKind;
+use xpass::sim::http;
 use xpass::sim::json::Json;
+use xpass::sim::metrics::{self, MetricsSpec, Plane};
+use xpass::sim::profile;
 use xpass::sim::time::Dur;
 use xpass::sim::trace::{JsonlSink, TraceSink};
 
@@ -122,7 +141,10 @@ fn usage() -> String {
          \x20                 [--json <dir>] [--trace <file>] [--jobs <n>]\n\
          \x20                 [--scheduler heap|calendar] [--budget-secs <n>]\n\
          \x20                 [--checkpoint-every <sim-ms> --checkpoint-dir <dir>]\n\
+         \x20                 [--metrics <file>] [--metrics-interval-ms <n>]\n\
+         \x20                 [--http-addr <ip:port>] [--progress <secs>]\n\
          \x20      xpass-repro run <scenario.json...> [same flags]\n\
+         \x20      xpass-repro serve <experiment...> [--addr <ip:port>] [same flags]\n\
          \x20      xpass-repro --resume <snapshot.snap> [run <scenario.json>] [same flags]\n\nexperiments:\n",
     );
     for e in registry::all() {
@@ -165,6 +187,7 @@ fn write_json_record(
 /// experiment never sinks the batch. The rest still run and print; the
 /// failures are summarised on stderr at the end and the run exits
 /// non-zero.
+#[allow(clippy::too_many_arguments)]
 fn run_selected(
     selected: &[Box<dyn Experiment>],
     opts: &RunOpts,
@@ -173,6 +196,7 @@ fn run_selected(
     scheduler: SchedulerKind,
     budget: Option<Duration>,
     banners: bool,
+    metrics_out: Option<&Path>,
 ) -> bool {
     if opts.trace.is_some() {
         for e in selected {
@@ -186,6 +210,13 @@ fn run_selected(
     }
     let refs: Vec<&dyn Experiment> = selected.iter().map(Box::as_ref).collect();
     let outputs = parallel::run_isolated(refs, jobs, scheduler, budget, |_, e| {
+        if metrics::active() {
+            // Publish this job under its experiment name (must precede
+            // network creation) and attribute its phases to a root span.
+            metrics::set_job(e.name());
+            profile::install_profiler();
+        }
+        let _span = profile::span(e.name());
         if checkpoint::active() {
             // Stamp snapshot headers with this job's identity so `--resume`
             // can rebuild the exact run. Must precede network creation.
@@ -200,7 +231,15 @@ fn run_selected(
         } else {
             None
         };
-        e.run(sink)
+        let out = e.run(sink);
+        // The experiment span closes only now, after the network's final
+        // in-run publish — so the complete span set is attached to the
+        // job's published views here.
+        drop(_span);
+        if let Some(plane) = metrics::plane() {
+            plane.attach_spans(e.name(), &profile::take_spans());
+        }
+        out
     });
     let mut ok = true;
     let mut failures: Vec<String> = Vec::new();
@@ -249,6 +288,20 @@ fn run_selected(
             failures.push(line);
         }
     }
+    if let Some(path) = metrics_out {
+        let names: Vec<String> = selected.iter().map(|e| e.name().to_string()).collect();
+        let series = metrics::plane().map(|p| p.jsonl_for_jobs(&names));
+        match std::fs::write(path, series.unwrap_or_default()) {
+            Ok(()) => eprintln!("xpass-repro: wrote {}", path.display()),
+            Err(err) => {
+                eprintln!(
+                    "xpass-repro: cannot write metrics file {}: {err}",
+                    path.display()
+                );
+                ok = false;
+            }
+        }
+    }
     if !failures.is_empty() {
         let n = selected
             .iter()
@@ -289,6 +342,7 @@ fn run_resume(
     scheduler: SchedulerKind,
     budget: Option<Duration>,
     ckpt_cfg: Option<CheckpointConfig>,
+    metrics_out: Option<&Path>,
 ) -> ExitCode {
     let mut img = match checkpoint::load_image(snap_path) {
         Ok(img) => img,
@@ -367,7 +421,14 @@ fn run_resume(
     checkpoint::rebase_scope(&mut img, 0);
     checkpoint::install(ckpt_cfg, Some(img));
     exit(run_selected(
-        &selected, opts, json_dir, jobs, scheduler, budget, false,
+        &selected,
+        opts,
+        json_dir,
+        jobs,
+        scheduler,
+        budget,
+        false,
+        metrics_out,
     ))
 }
 
@@ -386,6 +447,10 @@ fn main() -> ExitCode {
     let mut ckpt_every: Option<Dur> = None;
     let mut ckpt_dir: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut metrics_interval = Dur::ms(1);
+    let mut http_addr: Option<String> = None;
+    let mut progress: Option<Dur> = None;
     let mut targets: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -466,6 +531,41 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics" => match args.next() {
+                Some(f) => metrics_out = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("xpass-repro: --metrics needs an output file\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-interval-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => metrics_interval = Dur::ms(n),
+                _ => {
+                    eprintln!(
+                        "xpass-repro: --metrics-interval-ms needs a sim-time interval \
+                         in ms (integer >= 1)\n"
+                    );
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--http-addr" | "--addr" => match args.next() {
+                Some(a) => http_addr = Some(a),
+                None => {
+                    eprintln!("xpass-repro: {a} needs an <ip:port> address\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--progress" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s.is_finite() => progress = Some(Dur::from_secs_f64(s)),
+                _ => {
+                    eprintln!("xpass-repro: --progress needs a sim-seconds period (> 0)\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             f if f.starts_with("--") => {
                 eprintln!("xpass-repro: unknown flag '{f}'\n");
                 eprint!("{}", usage());
@@ -480,6 +580,50 @@ fn main() -> ExitCode {
             println!("{:<10} {}", e.name(), e.describe());
         }
         return ExitCode::SUCCESS;
+    }
+
+    let serve = targets.first().is_some_and(|t| t == "serve");
+    if serve {
+        targets.remove(0);
+        if targets.is_empty() {
+            eprintln!("xpass-repro: serve needs at least one experiment (e.g. serve fig10)\n");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Any metrics-facing flag turns the plane on; with everything off the
+    // runtime is never installed and runs stay byte-identical.
+    let metrics_on = metrics_out.is_some() || http_addr.is_some() || progress.is_some() || serve;
+    let mut server: Option<http::Server> = None;
+    if metrics_on {
+        let plane = Plane::new();
+        metrics::install(
+            MetricsSpec {
+                interval: metrics_interval,
+                progress_every: progress,
+                ..MetricsSpec::default()
+            },
+            Some(plane.clone()),
+        );
+        let addr = http_addr
+            .clone()
+            .or_else(|| serve.then(|| "127.0.0.1:0".to_string()));
+        if let Some(addr) = addr {
+            match http::Server::serve(&addr, plane) {
+                Ok(s) => {
+                    eprintln!(
+                        "xpass-repro: serving live metrics on http://{}/metrics",
+                        s.local_addr()
+                    );
+                    server = Some(s);
+                }
+                Err(e) => {
+                    eprintln!("xpass-repro: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
 
     let ckpt_cfg = match (ckpt_every, ckpt_dir) {
@@ -501,8 +645,8 @@ fn main() -> ExitCode {
         (None, None) => None,
     };
 
-    if let Some(snap_path) = resume {
-        return run_resume(
+    let code = if let Some(snap_path) = resume {
+        run_resume(
             &snap_path,
             &targets,
             &mut opts,
@@ -511,82 +655,98 @@ fn main() -> ExitCode {
             scheduler,
             budget,
             ckpt_cfg,
-        );
-    }
-    if ckpt_cfg.is_some() {
-        checkpoint::install(ckpt_cfg, None);
-    }
-
-    match targets.first().map(|s| s.as_str()) {
-        None | Some("list") | Some("help") => {
-            print!("{}", usage());
-            ExitCode::SUCCESS
+            metrics_out.as_deref(),
+        )
+    } else {
+        if ckpt_cfg.is_some() {
+            checkpoint::install(ckpt_cfg, None);
         }
-        Some("run") => {
-            let files = &targets[1..];
-            if files.is_empty() {
-                eprintln!("xpass-repro: run needs at least one scenario file\n");
-                eprint!("{}", usage());
-                return ExitCode::FAILURE;
+        match targets.first().map(|s| s.as_str()) {
+            None | Some("list") | Some("help") => {
+                print!("{}", usage());
+                ExitCode::SUCCESS
             }
-            let mut selected: Vec<Box<dyn Experiment>> = Vec::with_capacity(files.len());
-            for f in files {
-                match scenario::load(Path::new(f)) {
-                    Ok(exp) => selected.push(Box::new(exp)),
-                    Err(e) => {
-                        eprintln!("xpass-repro: {e}");
-                        return ExitCode::FAILURE;
+            Some("run") => {
+                let files = &targets[1..];
+                if files.is_empty() {
+                    eprintln!("xpass-repro: run needs at least one scenario file\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                let mut selected: Vec<Box<dyn Experiment>> = Vec::with_capacity(files.len());
+                for f in files {
+                    match scenario::load(Path::new(f)) {
+                        Ok(exp) => selected.push(Box::new(exp)),
+                        Err(e) => {
+                            eprintln!("xpass-repro: {e}");
+                            return ExitCode::FAILURE;
+                        }
                     }
                 }
+                configure(&mut selected, &opts);
+                let banners = selected.len() > 1;
+                exit(run_selected(
+                    &selected,
+                    &opts,
+                    json_dir.as_deref(),
+                    jobs,
+                    scheduler,
+                    budget,
+                    banners,
+                    metrics_out.as_deref(),
+                ))
             }
-            configure(&mut selected, &opts);
-            let banners = selected.len() > 1;
-            exit(run_selected(
-                &selected,
-                &opts,
-                json_dir.as_deref(),
-                jobs,
-                scheduler,
-                budget,
-                banners,
-            ))
-        }
-        Some("all") if targets.len() == 1 => {
-            let mut selected = registry::all();
-            configure(&mut selected, &opts);
-            exit(run_selected(
-                &selected,
-                &opts,
-                json_dir.as_deref(),
-                jobs,
-                scheduler,
-                budget,
-                true,
-            ))
-        }
-        Some(_) => {
-            let mut selected: Vec<Box<dyn Experiment>> = Vec::with_capacity(targets.len());
-            for name in &targets {
-                match registry::find(name) {
-                    Some(e) => selected.push(e),
-                    None => {
-                        eprintln!("xpass-repro: unknown experiment '{name}'\n");
-                        eprint!("{}", usage());
-                        return ExitCode::FAILURE;
+            Some("all") if targets.len() == 1 => {
+                let mut selected = registry::all();
+                configure(&mut selected, &opts);
+                exit(run_selected(
+                    &selected,
+                    &opts,
+                    json_dir.as_deref(),
+                    jobs,
+                    scheduler,
+                    budget,
+                    true,
+                    metrics_out.as_deref(),
+                ))
+            }
+            Some(_) => {
+                let mut selected: Vec<Box<dyn Experiment>> = Vec::with_capacity(targets.len());
+                for name in &targets {
+                    match registry::find(name) {
+                        Some(e) => selected.push(e),
+                        None => {
+                            eprintln!("xpass-repro: unknown experiment '{name}'\n");
+                            eprint!("{}", usage());
+                            return ExitCode::FAILURE;
+                        }
                     }
                 }
+                configure(&mut selected, &opts);
+                let banners = selected.len() > 1;
+                exit(run_selected(
+                    &selected,
+                    &opts,
+                    json_dir.as_deref(),
+                    jobs,
+                    scheduler,
+                    budget,
+                    banners,
+                    metrics_out.as_deref(),
+                ))
             }
-            configure(&mut selected, &opts);
-            let banners = selected.len() > 1;
-            exit(run_selected(
-                &selected,
-                &opts,
-                json_dir.as_deref(),
-                jobs,
-                scheduler,
-                budget,
-                banners,
-            ))
+        }
+    };
+    if serve {
+        if let Some(srv) = &server {
+            eprintln!(
+                "xpass-repro: runs complete; still serving on http://{} (ctrl-c to exit)",
+                srv.local_addr()
+            );
+            loop {
+                std::thread::sleep(Duration::from_secs(60));
+            }
         }
     }
+    code
 }

@@ -15,7 +15,9 @@ use xpass::net::ids::HostId;
 use xpass::net::network::Network;
 use xpass::net::topology::Topology;
 use xpass::sim::checkpoint;
+use xpass::sim::http;
 use xpass::sim::json;
+use xpass::sim::metrics;
 use xpass::sim::rng::Rng;
 use xpass::sim::snap::{self, SnapWriter};
 use xpass::sim::time::{Dur, SimTime};
@@ -163,6 +165,86 @@ fn snapshot_decoder_never_panics_on_mutated_corpus() {
                 // no-op; whatever it is, image parsing must stay total.
                 let _ = checkpoint::parse_image(body);
             }
+        }
+    }
+}
+
+#[test]
+fn http_parser_never_panics_on_mutated_corpus() {
+    for (path, data) in corpus("http") {
+        let req = http::parse_request(&data)
+            .unwrap_or_else(|e| panic!("corpus seed {} must parse: {e}", path.display()));
+        assert!(
+            req.path.starts_with('/'),
+            "{}: parsed path {:?}",
+            path.display(),
+            req.path
+        );
+        assert!(
+            !req.headers.is_empty(),
+            "{}: seed should carry headers",
+            path.display()
+        );
+
+        let mut rng = Rng::new(0xCAFE);
+        for _ in 0..ROUNDS {
+            let m = mutate(&data, &mut rng);
+            // Accept or reject — either is fine; panicking is not.
+            if let Ok(req) = http::parse_request(&m) {
+                assert!(req.path.starts_with('/'), "accepted a non-origin target");
+                assert!(req.headers.len() <= http::MAX_HEADERS);
+            }
+        }
+
+        // Bound check: an oversized head must be rejected, not scanned.
+        let mut huge = data.clone();
+        huge.resize(http::MAX_HEAD_BYTES + 1, b'a');
+        assert!(http::parse_request(&huge).is_err());
+    }
+}
+
+/// Both consumers of externally-produced metrics text: the
+/// `xpass-metrics/v1` JSONL series decoder and the Prometheus exposition
+/// parse-back. Seed validity is keyed on extension (`.jsonl` vs `.prom`);
+/// mutations are fed to *both* decoders regardless, since a scraper can
+/// hand either one arbitrary bytes.
+#[test]
+fn metrics_decoders_never_panic_on_mutated_corpus() {
+    for (path, data) in corpus("metrics") {
+        let src = String::from_utf8(data.clone()).unwrap();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("jsonl") => {
+                let dumps = metrics::decode_jsonl(&src)
+                    .unwrap_or_else(|e| panic!("corpus seed {} must decode: {e}", path.display()));
+                assert!(!dumps.is_empty(), "{}: empty series", path.display());
+                // The encoder must round-trip what the decoder accepted.
+                for d in &dumps {
+                    let redecoded = metrics::decode_jsonl(&metrics::encode_jsonl(d))
+                        .expect("re-encoded series decodes");
+                    assert_eq!(redecoded.len(), 1, "{}", path.display());
+                    assert_eq!(redecoded[0].keys, d.keys, "{}", path.display());
+                    assert_eq!(
+                        redecoded[0].ticks.len(),
+                        d.ticks.len(),
+                        "{}",
+                        path.display()
+                    );
+                }
+            }
+            Some("prom") => {
+                let samples = metrics::parse_exposition(&src)
+                    .unwrap_or_else(|e| panic!("corpus seed {} must parse: {e}", path.display()));
+                assert!(!samples.is_empty(), "{}: empty exposition", path.display());
+            }
+            other => panic!("{}: unexpected extension {other:?}", path.display()),
+        }
+
+        let mut rng = Rng::new(0xD0_5E_ED);
+        for _ in 0..ROUNDS {
+            let m = mutate(&data, &mut rng);
+            let text = String::from_utf8_lossy(&m);
+            let _ = metrics::decode_jsonl(&text);
+            let _ = metrics::parse_exposition(&text);
         }
     }
 }
