@@ -98,7 +98,7 @@ impl MaxMinOracle {
                     return path;
                 }
                 NodeId::Switch(s) => {
-                    let choices = &topo.routes[s.0 as usize][info.dst.0 as usize];
+                    let choices = topo.route_choices(s, info.dst);
                     let idx = ecmp_index(info.src, info.dst, flow, choices.len());
                     dl = choices[idx];
                 }

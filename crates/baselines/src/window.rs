@@ -551,7 +551,7 @@ pub fn window_factory<C: CongestionControl>(
     cfg: WindowCfg,
     mk: impl Fn() -> C + 'static,
 ) -> EndpointFactory {
-    Box::new(move |side, _info| match side {
+    Box::new(move |side, _info, _h| match side {
         Side::Sender => Box::new(WindowSender::new(mk(), cfg)),
         Side::Receiver => Box::new(WindowReceiver::new()),
     })

@@ -11,15 +11,19 @@
 //! The flow-scalability suite writes `BENCH_engine.json` (repo root, or
 //! `$XPASS_BENCH_OUT`): hold-model scheduler throughput at fig15 queue
 //! depths, full fig15-style simulations under both schedulers, a parallel
-//! batch (`xpass_experiments::parallel`, one engine per seed), and the
-//! headline `calendar+parallel vs heap serial` events/sec speedup.
+//! batch (`xpass_experiments::parallel`, one engine per seed), a memory
+//! suite measuring steady-state `bytes_per_flow` on a reduced fig15_xl
+//! Clos under the crate's counting global allocator, and the headline
+//! `calendar+parallel vs heap serial` events/sec speedup plus
+//! `events_per_sec_at_depth` and `bytes_per_flow`.
 //! Environment knobs:
 //!
 //! * `XPASS_BENCH_FAST=1` — CI smoke mode (smaller depths/iterations).
 //! * `XPASS_BENCH_OUT=<path>` — where to write the JSON report.
 //! * `XPASS_BENCH_BASELINE=<path>` — compare against a committed report
 //!   and exit non-zero if a calendar/heap speedup ratio (the
-//!   machine-independent signal) regressed > 20 %.
+//!   machine-independent signal) regressed > 20 %, or if steady-state
+//!   `bytes_per_flow` grew > 20 %.
 
 use expresspass::{xpass_factory, XPassConfig};
 use std::hint::black_box;
@@ -149,6 +153,93 @@ fn bench_incast() {
         net.run_until_done(SimTime::ZERO + Dur::secs(1));
         black_box(net.completed_count());
     });
+}
+
+// ---------------------------------------------------------------------------
+// Memory suite: steady-state bytes per flow under the counting allocator
+// ---------------------------------------------------------------------------
+
+/// One steady-state bytes-per-flow measurement under the crate's counting
+/// [`xpass_bench::count_alloc`] global allocator: build the Clos and the
+/// empty network, note the live baseline, start `n` long-running fig15_xl
+/// stride-permutation flows, run past warmup, and charge the live-byte
+/// delta to the flows. The delta covers everything a flow pins at steady
+/// state — its arena slot and SoA lanes, the boxed endpoint pair, queued
+/// events, timer-wheel occupancy, and its share of in-flight packets —
+/// while the pre-built fabric (ports, routing tables, wheels) cancels out
+/// in the subtraction.
+fn mem_case(cfg: &xpass_experiments::fig15_xl::Config) -> Json {
+    let n = cfg.flow_counts[0];
+    let topo = Topology::three_tier(
+        cfg.pods,
+        cfg.aggs_per_pod,
+        cfg.tors_per_pod,
+        cfg.hosts_per_tor,
+        cfg.cores,
+        cfg.host_bps,
+        cfg.host_bps,
+        cfg.up_bps,
+        Dur::us(1),
+    );
+    let hosts = topo.n_hosts;
+    let mut net = Scheme::XPass(XPassConfig::aggressive()).build(topo, cfg.host_bps, cfg.seed);
+    let base = xpass_bench::count_alloc::live_bytes();
+    for i in 0..n {
+        let src = i % hosts;
+        let round = i / hosts;
+        let mut dst = (src + hosts / 2 + round * 131) % hosts;
+        if dst == src {
+            dst = (dst + 1) % hosts;
+        }
+        let start = SimTime::ZERO + Dur::us((i as u64 * 13) % 100);
+        net.add_flow(
+            HostId(src as u32),
+            HostId(dst as u32),
+            cfg.flow_bytes,
+            start,
+        );
+    }
+    net.run_until(SimTime::ZERO + cfg.warmup);
+    let steady = xpass_bench::count_alloc::live_bytes();
+    let concurrent = n - net.completed_count() - net.aborted_count();
+    assert_eq!(concurrent, n, "flows must stay concurrent through warmup");
+    let bytes_per_flow = steady.saturating_sub(base) as f64 / n as f64;
+    let events = net.engine_report().events_processed;
+    black_box(net.counters().payload_delivered);
+    let name = format!("mem_fig15xl_h{hosts}_n{n}");
+    println!("{name:<28} {bytes_per_flow:>14.1} bytes/flow  ({events} events to warmup)");
+    Json::obj()
+        .with("name", Json::str(name))
+        .with("hosts", Json::num_u64(hosts as u64))
+        .with("flows", Json::num_u64(n as u64))
+        .with("live_bytes_base", Json::num_u64(base))
+        .with("live_bytes_steady", Json::num_u64(steady))
+        .with("bytes_per_flow", Json::Num(bytes_per_flow))
+}
+
+/// The memory suite. The reduced 48-host shape runs in *both* modes so a
+/// fast (CI smoke) run always has a same-name case to gate against in the
+/// committed full-mode baseline; the full mode adds the real 10 240-host
+/// fig15_xl fabric, whose figure becomes the `bytes_per_flow` headline.
+fn bench_memory() -> Vec<Json> {
+    let reduced = xpass_experiments::fig15_xl::Config {
+        pods: 4,
+        aggs_per_pod: 2,
+        tors_per_pod: 2,
+        hosts_per_tor: 6,
+        cores: 4,
+        flow_counts: vec![4_096],
+        ..Default::default()
+    };
+    let mut cases = vec![mem_case(&reduced)];
+    if !fast_mode() {
+        let full = xpass_experiments::fig15_xl::Config {
+            flow_counts: vec![16_384],
+            ..Default::default()
+        };
+        cases.push(mem_case(&full));
+    }
+    cases
 }
 
 // ---------------------------------------------------------------------------
@@ -441,7 +532,12 @@ fn bench_flow_scalability() -> Json {
                 )
                 .with("hold_heap_events_per_sec", Json::Num(hold_heap))
                 .with("hold_calendar_events_per_sec", Json::Num(hold_cal))
-                .with("speedup_scheduler_hold_model", Json::Num(hold_speedup)),
+                .with("speedup_scheduler_hold_model", Json::Num(hold_speedup))
+                .with("hold_depth", Json::num_u64(top_d as u64))
+                // The deepest hold-model calendar rate: the per-PR signal
+                // for "how fast does the scheduler move events at fig15
+                // queue depth" (machine-dependent; recorded, not gated).
+                .with("events_per_sec_at_depth", Json::Num(hold_cal)),
         )
 }
 
@@ -541,6 +637,35 @@ fn regressions(baseline: &Json, fresh: &Json) -> Vec<String> {
             check(&format!("headline.{k}"), old, new);
         }
     }
+    // Memory footprint gates the other way: growth is the regression.
+    // Bytes per flow is a property of the data layout, not the runner's
+    // clock, so same-name cases (the reduced shape runs in both fast and
+    // full modes) are compared directly with the same 20 % tolerance.
+    let mem_cases = |j: &Json| -> Vec<(String, f64)> {
+        j.get("memory")
+            .and_then(|s| s.as_array())
+            .map(|xs| {
+                xs.iter()
+                    .filter_map(|x| {
+                        Some((
+                            x.get("name")?.as_str()?.to_string(),
+                            x.get("bytes_per_flow")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let old_mem = mem_cases(baseline);
+    for (name, new) in mem_cases(fresh) {
+        if let Some((_, old)) = old_mem.iter().find(|(n, _)| *n == name) {
+            if *old > 0.0 && new > 1.2 * old {
+                fails.push(format!(
+                    "memory({name}): {new:.0} B/flow > 120% of baseline {old:.0} B/flow"
+                ));
+            }
+        }
+    }
     fails
 }
 
@@ -554,7 +679,20 @@ fn main() {
         bench_netcalc();
         bench_incast();
 
+        let mem = bench_memory();
         let scale = bench_flow_scalability();
+        // Headline figure: the largest fabric measured this run.
+        let bytes_per_flow = mem
+            .last()
+            .and_then(|c| c.get("bytes_per_flow"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let headline = scale
+            .get("headline")
+            .unwrap()
+            .clone()
+            .with("bytes_per_flow", Json::Num(bytes_per_flow));
+        println!("headline: {bytes_per_flow:.0} bytes/flow at steady state");
         let report = Json::obj()
             .with("schema", Json::str("xpass-bench-engine/v1"))
             .with("fast", Json::Bool(fast_mode()))
@@ -563,7 +701,8 @@ fn main() {
                 "flow_scalability",
                 scale.get("flow_scalability").unwrap().clone(),
             )
-            .with("headline", scale.get("headline").unwrap().clone());
+            .with("memory", Json::Arr(mem))
+            .with("headline", headline);
         let path = out_path();
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir).expect("create bench output dir");

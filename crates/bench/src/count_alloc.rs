@@ -1,0 +1,93 @@
+//! A counting global allocator for memory benchmarks: wraps the system
+//! allocator and keeps relaxed atomic tallies of live and cumulative heap
+//! bytes. Installed as the `#[global_allocator]` of every binary that
+//! links `xpass-bench`, so bench targets can report `bytes_per_flow`-style
+//! headlines without external profilers. Overhead is two relaxed atomic
+//! adds per allocation — invisible next to the allocator itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static FREED: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator. One static instance is installed by this
+/// module; the type is public only so the `#[global_allocator]` item can
+/// name it.
+pub struct CountingAlloc;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// SAFETY: defers every allocation to `System`, which upholds the
+// `GlobalAlloc` contract; the counters are side effects only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+            FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+/// Heap bytes currently live (allocated minus freed) across the whole
+/// process. Deltas between two calls isolate a phase's net footprint.
+pub fn live_bytes() -> u64 {
+    ALLOCATED
+        .load(Ordering::Relaxed)
+        .saturating_sub(FREED.load(Ordering::Relaxed))
+}
+
+/// Cumulative bytes ever allocated (churn included). Monotone.
+pub fn total_allocated() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_a_boxed_slab() {
+        let before = live_bytes();
+        let v: Vec<u8> = Vec::with_capacity(1 << 20);
+        let during = live_bytes();
+        assert!(
+            during >= before + (1 << 20),
+            "1 MiB allocation must show up: {before} -> {during}"
+        );
+        drop(v);
+        let after = live_bytes();
+        assert!(after < during, "free must be counted: {during} -> {after}");
+    }
+
+    #[test]
+    fn total_is_monotone() {
+        let a = total_allocated();
+        let _s = vec![0u8; 4096];
+        assert!(total_allocated() >= a + 4096);
+    }
+}

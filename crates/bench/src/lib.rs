@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 use std::time::Instant;
 
+pub mod count_alloc;
+
 /// Whether the environment requests paper-scale runs.
 pub fn paper_scale() -> bool {
     std::env::var_os("XPASS_PAPER_SCALE").is_some_and(|v| v != "0")

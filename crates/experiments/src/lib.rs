@@ -21,6 +21,7 @@
 //! | [`fig12_steady_state`] | Fig 12 — feedback convergence trace (§4 model) |
 //! | [`fig13_convergence_trace`] | Fig 13 — five staggered flows, queue trace |
 //! | [`fig15_flow_scalability`] | Fig 15 — utilization/fairness/queue vs N |
+//! | [`fig15_xl`] | Fig 15 XL — 100k+ concurrent flows on a 10k-host Clos |
 //! | [`fig16_convergence`] | Fig 16 — convergence time at 10/100 G |
 //! | [`fig17_shuffle`] | Fig 17 — shuffle FCT distribution |
 //! | [`fig18_param_sensitivity`] | Fig 18 — 99 %-ile FCT vs (α, w_init) |
@@ -55,6 +56,7 @@ pub mod fig12_steady_state;
 pub mod fig13_convergence_trace;
 pub mod fig14_host_model;
 pub mod fig15_flow_scalability;
+pub mod fig15_xl;
 pub mod fig16_convergence;
 pub mod fig17_shuffle;
 pub mod fig18_param_sensitivity;

@@ -23,6 +23,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::<crate::fig13_convergence_trace::Exp>::default(),
         Box::<crate::fig14_host_model::Exp>::default(),
         Box::<crate::fig15_flow_scalability::Exp>::default(),
+        Box::<crate::fig15_xl::Exp>::default(),
         Box::<crate::fig16_convergence::Exp>::default(),
         Box::<crate::fig17_shuffle::Exp>::default(),
         Box::<crate::fig18_param_sensitivity::Exp>::default(),
@@ -50,7 +51,7 @@ mod tests {
         let names: Vec<String> = all().iter().map(|e| e.name().to_string()).collect();
         assert_eq!(names.first().map(String::as_str), Some("fig01"));
         assert_eq!(names.last().map(String::as_str), Some("chaos_sweep"));
-        assert_eq!(names.len(), 23);
+        assert_eq!(names.len(), 24);
         let mut sorted = names.clone();
         sorted.sort();
         sorted.dedup();
@@ -74,7 +75,7 @@ mod tests {
     #[test]
     fn paper_scale_flags() {
         // Only the experiments the old CLI special-cased support it.
-        let expect = ["fig01", "fig17", "fig19", "table3"];
+        let expect = ["fig01", "fig15_xl", "fig17", "fig19", "table3"];
         for mut e in all() {
             let name = e.name().to_string();
             assert_eq!(

@@ -11,9 +11,12 @@
 //!
 //! A scenario selects:
 //!
-//! * `topology` — `dumbbell`, `chain`, `star`, `fat_tree`, or
-//!   `eval_fat_tree`, with dimensions; one numeric dimension may be the
-//!   string `"$sweep"` to range over `sweep.values`.
+//! * `topology` — `dumbbell`, `chain`, `star`, `fat_tree`,
+//!   `eval_fat_tree`, or `three_tier` (generalized Clos with `pods`,
+//!   `aggs_per_pod`, `tors_per_pod`, `hosts_per_tor`, `cores`), with
+//!   dimensions; one numeric dimension may be the string `"$sweep"` to
+//!   range over `sweep.values` (for `three_tier`: one of `pods`,
+//!   `tors_per_pod`, or `hosts_per_tor`).
 //! * `series` — one labelled congestion-control scheme per table row
 //!   (`xpass` with a `profile`, `dctcp`, `rcp`, `hull`, `dx`, `cubic`,
 //!   `reno`, `naive_credit`, `ideal`).
@@ -192,6 +195,14 @@ enum TopoSpec {
         prop: Dur,
     },
     EvalFatTree,
+    ThreeTier {
+        pods: Dim,
+        aggs_per_pod: u64,
+        tors_per_pod: Dim,
+        hosts_per_tor: Dim,
+        cores: u64,
+        prop: Dur,
+    },
 }
 
 impl TopoSpec {
@@ -201,6 +212,12 @@ impl TopoSpec {
             TopoSpec::Chain { bottlenecks, .. } => bottlenecks.is_sweep(),
             TopoSpec::Star { hosts, .. } => hosts.is_sweep(),
             TopoSpec::FatTree { .. } | TopoSpec::EvalFatTree => false,
+            TopoSpec::ThreeTier {
+                pods,
+                tors_per_pod,
+                hosts_per_tor,
+                ..
+            } => pods.is_sweep() || tors_per_pod.is_sweep() || hosts_per_tor.is_sweep(),
         }
     }
 
@@ -234,6 +251,24 @@ impl TopoSpec {
                 Topology::fat_tree(k as usize, link_bps, link_bps, prop)
             }
             TopoSpec::EvalFatTree => Topology::eval_fat_tree(link_bps),
+            TopoSpec::ThreeTier {
+                pods,
+                aggs_per_pod,
+                tors_per_pod,
+                hosts_per_tor,
+                cores,
+                prop,
+            } => Topology::three_tier(
+                pods.resolve(sweep) as usize,
+                aggs_per_pod as usize,
+                tors_per_pod.resolve(sweep) as usize,
+                hosts_per_tor.resolve(sweep) as usize,
+                cores as usize,
+                link_bps,
+                link_bps,
+                link_bps,
+                prop,
+            ),
         }
     }
 }
@@ -265,9 +300,60 @@ fn parse_topology(j: &Json) -> Result<TopoSpec, ScenarioError> {
             Ok(TopoSpec::FatTree { k, prop })
         }
         "eval_fat_tree" => Ok(TopoSpec::EvalFatTree),
+        "three_tier" => {
+            let pods = parse_dim(j, "pods", ctx)?;
+            let tors_per_pod = parse_dim(j, "tors_per_pod", ctx)?;
+            let hosts_per_tor = parse_dim(j, "hosts_per_tor", ctx)?;
+            let n_sweeps = [pods, tors_per_pod, hosts_per_tor]
+                .iter()
+                .filter(|d| d.is_sweep())
+                .count();
+            if n_sweeps > 1 {
+                return Err(ScenarioError::new(format!(
+                    "{ctx}: at most one of pods|tors_per_pod|hosts_per_tor \
+                     may be \"$sweep\", got {n_sweeps}"
+                )));
+            }
+            let aggs_per_pod = req_u64(j, "aggs_per_pod", ctx)?;
+            let cores = req_u64(j, "cores", ctx)?;
+            if aggs_per_pod == 0 {
+                return Err(ScenarioError::new(format!(
+                    "{ctx}: three_tier requires aggs_per_pod >= 1, got 0"
+                )));
+            }
+            if cores == 0 || cores % aggs_per_pod != 0 {
+                return Err(ScenarioError::new(format!(
+                    "{ctx}: three_tier cores ({cores}) must be a positive \
+                     multiple of aggs_per_pod ({aggs_per_pod})"
+                )));
+            }
+            if let Dim::Fixed(0) = pods {
+                return Err(ScenarioError::new(format!(
+                    "{ctx}: three_tier requires pods >= 1, got 0"
+                )));
+            }
+            if let Dim::Fixed(0) = tors_per_pod {
+                return Err(ScenarioError::new(format!(
+                    "{ctx}: three_tier requires tors_per_pod >= 1, got 0"
+                )));
+            }
+            if let Dim::Fixed(0) = hosts_per_tor {
+                return Err(ScenarioError::new(format!(
+                    "{ctx}: three_tier requires hosts_per_tor >= 1, got 0"
+                )));
+            }
+            Ok(TopoSpec::ThreeTier {
+                pods,
+                aggs_per_pod,
+                tors_per_pod,
+                hosts_per_tor,
+                cores,
+                prop,
+            })
+        }
         other => Err(ScenarioError::new(format!(
             "{ctx}: unknown kind '{other}' \
-             (expected dumbbell|chain|star|fat_tree|eval_fat_tree)"
+             (expected dumbbell|chain|star|fat_tree|eval_fat_tree|three_tier)"
         ))),
     }
 }
@@ -841,14 +927,14 @@ fn validate(s: &Scenario) -> Result<(), ScenarioError> {
             }
         }
         MeasureSpec::Fct { .. } => {
-            if s.sweep.is_some() {
+            if s.sweep.is_some() && !s.topo.uses_sweep() {
                 return Err(ScenarioError::new(
-                    "measure fct does not support a 'sweep' (one run per series)",
+                    "a 'sweep' is declared but no topology dimension is \"$sweep\"",
                 ));
             }
-            if s.topo.uses_sweep() {
+            if s.topo.uses_sweep() && s.sweep.is_none() {
                 return Err(ScenarioError::new(
-                    "topology references \"$sweep\" but no sweep applies to measure fct",
+                    "topology references \"$sweep\" but the scenario declares no 'sweep'",
                 ));
             }
         }
@@ -869,6 +955,25 @@ fn validate(s: &Scenario) -> Result<(), ScenarioError> {
             return Err(ScenarioError::new(
                 "topology: chain 'bottlenecks' must be >= 1",
             ));
+        }
+        if let TopoSpec::ThreeTier {
+            pods,
+            tors_per_pod,
+            hosts_per_tor,
+            ..
+        } = s.topo
+        {
+            for (key, dim) in [
+                ("pods", pods),
+                ("tors_per_pod", tors_per_pod),
+                ("hosts_per_tor", hosts_per_tor),
+            ] {
+                if dim.resolve(sv) == 0 {
+                    return Err(ScenarioError::new(format!(
+                        "topology: three_tier '{key}' must be >= 1",
+                    )));
+                }
+            }
         }
         let topo = s.topo.build(s.link_bps, sv);
         if topo.n_hosts < 2 {
@@ -999,47 +1104,63 @@ impl Scenario {
             MeasureSpec::Fct { cap } => cap,
             MeasureSpec::MinLinkUtilization { .. } => unreachable!(),
         };
+        let sweep_values: Vec<Option<u64>> = match &self.sweep {
+            Some(sw) => sw.values.iter().map(|&v| Some(v)).collect(),
+            None => vec![None],
+        };
         let mut rows = Vec::new();
         let mut series_json = Vec::new();
         for s in &self.series {
-            let (mut net, specs) = self.build_net(s.scheme, seed, None, sink.take());
-            let last_start = specs.iter().map(|f| f.start).max().unwrap_or(SimTime::ZERO);
-            net.run_until_done(last_start + cap);
-            net.finish_stats();
-            let fct = FctBuckets::from_records(&net.flow_records());
-            let mut overall = fct.overall();
-            let counters = net.counters().clone();
-            rows.push(vec![
-                s.label.clone(),
-                overall.count().to_string(),
-                fct.unfinished().to_string(),
-                fmt_secs(overall.median()),
-                fmt_secs(overall.p99()),
-                fmt_secs(overall.max()),
-                counters.data_dropped.to_string(),
-            ]);
-            series_json.push(
-                Json::obj()
+            for &sv in &sweep_values {
+                let (mut net, specs) = self.build_net(s.scheme, seed, sv, sink.take());
+                let last_start = specs.iter().map(|f| f.start).max().unwrap_or(SimTime::ZERO);
+                net.run_until_done(last_start + cap);
+                net.finish_stats();
+                let fct = FctBuckets::from_records(&net.flow_records());
+                let mut overall = fct.overall();
+                let counters = net.counters().clone();
+                let row_label = match (sv, &self.sweep) {
+                    (Some(v), Some(sw)) => format!("{} {}={v}", s.label, sw.label),
+                    _ => s.label.clone(),
+                };
+                rows.push(vec![
+                    row_label,
+                    overall.count().to_string(),
+                    fct.unfinished().to_string(),
+                    fmt_secs(overall.median()),
+                    fmt_secs(overall.p99()),
+                    fmt_secs(overall.max()),
+                    counters.data_dropped.to_string(),
+                ]);
+                let mut entry = Json::obj()
                     .with("label", Json::str(&s.label))
-                    .with("scheme", Json::str(s.scheme.name()))
-                    .with("completed", Json::num_u64(overall.count() as u64))
-                    .with("unfinished", Json::num_u64(fct.unfinished() as u64))
-                    .with(
-                        "fct",
-                        Json::obj()
-                            .with("p50_s", Json::Num(overall.median()))
-                            .with("p99_s", Json::Num(overall.p99()))
-                            .with("max_s", Json::Num(overall.max())),
-                    )
-                    .with(
-                        "max_queue_bytes",
-                        Json::num_u64(net.max_switch_queue_bytes()),
-                    )
-                    .with("counters", counters.to_json())
-                    .with("engine", net.engine_report().to_json())
-                    .with("health", net.health_report().to_json()),
-            );
-            sink = net.take_trace_sink();
+                    .with("scheme", Json::str(s.scheme.name()));
+                if let (Some(v), Some(sw)) = (sv, &self.sweep) {
+                    entry = entry
+                        .with("sweep_label", Json::str(&sw.label))
+                        .with("sweep_value", Json::num_u64(v));
+                }
+                series_json.push(
+                    entry
+                        .with("completed", Json::num_u64(overall.count() as u64))
+                        .with("unfinished", Json::num_u64(fct.unfinished() as u64))
+                        .with(
+                            "fct",
+                            Json::obj()
+                                .with("p50_s", Json::Num(overall.median()))
+                                .with("p99_s", Json::Num(overall.p99()))
+                                .with("max_s", Json::Num(overall.max())),
+                        )
+                        .with(
+                            "max_queue_bytes",
+                            Json::num_u64(net.max_switch_queue_bytes()),
+                        )
+                        .with("counters", counters.to_json())
+                        .with("engine", net.engine_report().to_json())
+                        .with("health", net.health_report().to_json()),
+                );
+                sink = net.take_trace_sink();
+            }
         }
         drop(sink); // flush
         let text = format!(
@@ -1270,6 +1391,126 @@ mod tests {
         }"#;
         let err = parse_str(src).unwrap_err().to_string();
         assert!(err.contains("requires a 'sweep'"), "{err}");
+    }
+
+    const THREE_TIER_SWEEP: &str = r#"{
+        "schema": "xpass-scenario/v1",
+        "name": "clos_sweep",
+        "title": "permutation across a growing Clos",
+        "seed": 5,
+        "link_bps": 10000000000,
+        "topology": {"kind": "three_tier", "pods": "$sweep", "aggs_per_pod": 1,
+                     "tors_per_pod": 1, "hosts_per_tor": 2, "cores": 2,
+                     "prop_us": 1},
+        "sweep": {"label": "pods", "values": [2, 3]},
+        "series": [{"label": "ExpressPass", "scheme": {"kind": "xpass", "profile": "aggressive"}}],
+        "workload": {"kind": "permutation", "bytes": 100000},
+        "measure": {"kind": "fct", "cap_ms": 20}
+    }"#;
+
+    #[test]
+    fn three_tier_fct_sweep_runs_one_row_per_value() {
+        let exp = parse_str(THREE_TIER_SWEEP).unwrap();
+        let out = exp.run(None);
+        // One table row per sweep value, labelled with it.
+        assert!(out.text.contains("ExpressPass pods=2"), "{}", out.text);
+        assert!(out.text.contains("ExpressPass pods=3"), "{}", out.text);
+        let j = xpass_sim::json::parse(&out.json.to_string()).unwrap();
+        let series = j.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 2);
+        for (entry, want) in series.iter().zip([2u64, 3]) {
+            assert_eq!(entry.get("sweep_label").unwrap().as_str(), Some("pods"));
+            assert_eq!(entry.get("sweep_value").unwrap().as_u64(), Some(want));
+            assert_eq!(entry.get("unfinished").unwrap().as_u64(), Some(0));
+            // pods × tors_per_pod × hosts_per_tor flows in a permutation.
+            assert_eq!(
+                entry.get("completed").unwrap().as_u64(),
+                Some(want * 2),
+                "pods={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_tier_parse_and_validation_errors() {
+        let base = r#"{
+            "schema": "xpass-scenario/v1",
+            "name": "tt",
+            "title": "t",
+            "seed": 1,
+            "link_bps": 1000000000,
+            "topology": TOPO,
+            SWEEP
+            "series": [{"label": "x", "scheme": {"kind": "dctcp"}}],
+            "workload": {"kind": "permutation", "bytes": 1000},
+            "measure": {"kind": "fct", "cap_ms": 10}
+        }"#;
+        let no_sweep = |topo: &str| base.replace("TOPO", topo).replace("SWEEP", "");
+        let with_sweep = |topo: &str| {
+            base.replace("TOPO", topo)
+                .replace("SWEEP", r#""sweep": {"label": "n", "values": [2]},"#)
+        };
+        let cases: &[(String, &str)] = &[
+            (
+                with_sweep(
+                    r#"{"kind": "three_tier", "pods": "$sweep", "aggs_per_pod": 1,
+                       "tors_per_pod": "$sweep", "hosts_per_tor": 2, "cores": 1,
+                       "prop_us": 1}"#,
+                ),
+                "at most one of pods|tors_per_pod|hosts_per_tor may be \"$sweep\", got 2",
+            ),
+            (
+                no_sweep(
+                    r#"{"kind": "three_tier", "pods": 2, "aggs_per_pod": 0,
+                       "tors_per_pod": 1, "hosts_per_tor": 2, "cores": 2,
+                       "prop_us": 1}"#,
+                ),
+                "three_tier requires aggs_per_pod >= 1, got 0",
+            ),
+            (
+                no_sweep(
+                    r#"{"kind": "three_tier", "pods": 2, "aggs_per_pod": 2,
+                       "tors_per_pod": 1, "hosts_per_tor": 2, "cores": 3,
+                       "prop_us": 1}"#,
+                ),
+                "three_tier cores (3) must be a positive multiple of aggs_per_pod (2)",
+            ),
+            (
+                no_sweep(
+                    r#"{"kind": "three_tier", "pods": 0, "aggs_per_pod": 1,
+                       "tors_per_pod": 1, "hosts_per_tor": 2, "cores": 1,
+                       "prop_us": 1}"#,
+                ),
+                "three_tier requires pods >= 1, got 0",
+            ),
+            (
+                no_sweep(
+                    r#"{"kind": "three_tier", "pods": 2, "aggs_per_pod": 1,
+                       "hosts_per_tor": 2, "cores": 1, "prop_us": 1}"#,
+                ),
+                "topology.tors_per_pod: missing required key",
+            ),
+            (
+                no_sweep(
+                    r#"{"kind": "three_tier", "pods": "$sweep", "aggs_per_pod": 1,
+                       "tors_per_pod": 1, "hosts_per_tor": 2, "cores": 1,
+                       "prop_us": 1}"#,
+                ),
+                "topology references \"$sweep\" but the scenario declares no 'sweep'",
+            ),
+            (
+                with_sweep(
+                    r#"{"kind": "three_tier", "pods": 2, "aggs_per_pod": 1,
+                       "tors_per_pod": 1, "hosts_per_tor": 2, "cores": 1,
+                       "prop_us": 1}"#,
+                ),
+                "a 'sweep' is declared but no topology dimension is \"$sweep\"",
+            ),
+        ];
+        for (src, want) in cases {
+            let err = parse_str(src).unwrap_err().to_string();
+            assert!(err.contains(want), "error {err:?} should mention {want:?}");
+        }
     }
 
     /// Errors name the JSON path of the offending field and quote the value.

@@ -63,8 +63,11 @@ pub trait Endpoint {
     fn restore_state(&mut self, r: &mut xpass_sim::SnapReader) -> Result<(), xpass_sim::SnapError>;
 }
 
-/// Constructor for protocol endpoints: called once per flow per side.
-pub type EndpointFactory = Box<dyn Fn(Side, &FlowInfo) -> Box<dyn Endpoint>>;
+/// Constructor for protocol endpoints: called once per flow per side. The
+/// [`FlowHandle`](crate::arena::FlowHandle) is the flow's generational arena
+/// slot — controllers may keep it to detect slot reuse after retirement.
+pub type EndpointFactory =
+    Box<dyn Fn(Side, &FlowInfo, crate::arena::FlowHandle) -> Box<dyn Endpoint>>;
 
 /// The capability handle endpoints act through. Wraps the network with the
 /// identity of the flow/side being called back.

@@ -17,7 +17,11 @@
 //!   classes onto the wire.
 //! * [`topology`] — graph construction (dumbbell, parking lot,
 //!   multi-bottleneck, k-ary fat tree, oversubscribed 3-tier Clos) and
-//!   shortest-path ECMP route tables.
+//!   flat precomputed per-(switch, dst-ToR) ECMP route tables.
+//! * [`arena`] — generational slab of per-flow state with the credit-pacer
+//!   hot fields split struct-of-arrays.
+//! * [`timers`] — per-host timer generations and a shared hierarchical
+//!   occupancy wheel layered over the calendar event queue.
 //! * [`routing`] — symmetric flow hashing for deterministic, path-symmetric
 //!   ECMP (paper §3.1).
 //! * [`endpoint`] — the `Endpoint` trait all congestion-control protocols
@@ -36,6 +40,7 @@
 //!   host jitter model, …).
 
 #![warn(missing_docs)]
+pub mod arena;
 pub mod config;
 pub mod endpoint;
 pub mod faults;
@@ -49,8 +54,10 @@ pub mod port;
 pub mod queue;
 pub mod rcplink;
 pub mod routing;
+pub mod timers;
 pub mod topology;
 
+pub use arena::{FlowArena, FlowHandle};
 pub use config::NetConfig;
 pub use endpoint::{Ctx, Endpoint, EndpointFactory};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};

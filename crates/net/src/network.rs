@@ -16,6 +16,7 @@
 //! * `Fault` — a scheduled fault-injection event from an installed
 //!   [`FaultPlan`] fires (see [`crate::faults`]).
 
+use crate::arena::{FlowArena, FLAG_ABORTED, FLAG_DONE, FLAG_STALLED};
 use crate::config::NetConfig;
 use crate::endpoint::{Ctx, Endpoint, EndpointFactory, FlowInfo};
 use crate::faults::{FaultKind, FaultPlan, FaultState, FAULT_RNG_SALT};
@@ -28,7 +29,8 @@ use crate::port::{EgressPort, TxDecision};
 use crate::queue::{CreditQueue, DataQueue, EcnCfg, PhantomQueue};
 use crate::rcplink::RcpLink;
 use crate::routing::ecmp_index;
-use crate::topology::Topology;
+use crate::timers::TimerWheels;
+use crate::topology::{LiveRoutes, Topology};
 use std::collections::HashMap;
 use xpass_sim::checkpoint::{self, NetHook};
 use xpass_sim::event::EventQueue;
@@ -55,6 +57,14 @@ enum Ev {
     },
     Timer {
         flow: FlowId,
+        /// Arena generation of the flow at arm time; a firing whose
+        /// generation no longer matches addresses a retired slot (or its
+        /// successor) and is dropped.
+        fgen: u32,
+        /// Host the arming endpoint lives on (sender → src, receiver →
+        /// dst). Carried so the timer wheels can account the firing even
+        /// when the flow has since been retired.
+        host: HostId,
         side: Side,
         kind: u8,
         gen: u64,
@@ -116,12 +126,16 @@ impl Ev {
             }
             Ev::Timer {
                 flow,
+                fgen,
+                host,
                 side,
                 kind,
                 gen,
             } => {
                 w.u8(3);
                 w.u32(flow.0);
+                w.u32(*fgen);
+                w.u32(host.0);
                 w.bool(matches!(side, Side::Sender));
                 w.u8(*kind);
                 w.u64(*gen);
@@ -157,6 +171,8 @@ impl Ev {
             },
             3 => Ev::Timer {
                 flow: FlowId(r.u32()?),
+                fgen: r.u32()?,
+                host: HostId(r.u32()?),
                 side: if r.bool()? {
                     Side::Sender
                 } else {
@@ -263,20 +279,6 @@ pub struct FlowRecord {
     pub outcome: Option<FlowOutcome>,
 }
 
-struct FlowRuntime {
-    info: FlowInfo,
-    sender: Option<Box<dyn Endpoint>>,
-    receiver: Option<Box<dyn Endpoint>>,
-    rx_bytes: u64,
-    done: bool,
-    fct: Option<Dur>,
-    timer_gen: u64,
-    credits_sent: u64,
-    credits_wasted: u64,
-    aborted: bool,
-    stalled: bool,
-}
-
 /// Out-of-band run orchestration: reacts to flow lifecycle events with full
 /// `&mut Network` access. Used for request/response applications (Fig 1's
 /// partition/aggregate), the ideal-rate oracle, and dynamic arrival loops.
@@ -313,7 +315,15 @@ pub struct Network {
     topo: Topology,
     cfg: NetConfig,
     ports: Vec<EgressPort>,
-    flows: Vec<FlowRuntime>,
+    /// All flow state: generational slots (identity + boxed endpoints) and
+    /// struct-of-arrays hot counters. `FlowId` == slot index.
+    arena: FlowArena,
+    /// Per-host timer generations + shared occupancy wheel (replaces the
+    /// old per-flow `timer_gen` counters).
+    timers: TimerWheels,
+    /// Fault-aware routing overlay; `None` unless a fault plan was
+    /// installed — fault-free runs route straight from the flat tables.
+    live_routes: Option<LiveRoutes>,
     factory: EndpointFactory,
     controller: Option<Box<dyn Controller>>,
     pending: Vec<Pending>,
@@ -424,6 +434,7 @@ impl Network {
         }
         // Fork so per-run structural randomness is independent of traffic.
         let traffic_rng = rng.fork();
+        let timers = TimerWheels::new(topo.n_hosts);
         Network {
             now: SimTime::ZERO,
             events,
@@ -431,7 +442,9 @@ impl Network {
             topo,
             cfg,
             ports,
-            flows: Vec::new(),
+            arena: FlowArena::new(),
+            timers,
+            live_routes: None,
             factory,
             controller: None,
             pending: Vec::new(),
@@ -489,7 +502,8 @@ impl Network {
             (class as usize) < self.cfg.credit_classes.max(1),
             "class {class} outside configured credit_classes"
         );
-        let id = FlowId(self.flows.len() as u32);
+        let h = self.arena.alloc();
+        let id = h.flow();
         let info = FlowInfo {
             id,
             src,
@@ -498,23 +512,39 @@ impl Network {
             start,
             class,
         };
-        let sender = (self.factory)(Side::Sender, &info);
-        let receiver = (self.factory)(Side::Receiver, &info);
-        self.flows.push(FlowRuntime {
-            info,
-            sender: Some(sender),
-            receiver: Some(receiver),
-            rx_bytes: 0,
-            done: false,
-            fct: None,
-            timer_gen: 0,
-            credits_sent: 0,
-            credits_wasted: 0,
-            aborted: false,
-            stalled: false,
-        });
+        let sender = (self.factory)(Side::Sender, &info, h);
+        let receiver = (self.factory)(Side::Receiver, &info, h);
+        self.arena.commit(h, info, sender, receiver);
         self.events.push(start, Ev::FlowStart { flow: id });
         id
+    }
+
+    /// Retire a settled (completed or aborted) flow: free its arena slot
+    /// for reuse and return its final record. The slot generation is
+    /// bumped, so any timer events still queued for the flow go stale and
+    /// are dropped when they fire — even if the slot has been reused by a
+    /// newer flow by then. Long-running churn workloads use this to keep
+    /// memory proportional to *live* flows.
+    pub fn retire_flow(&mut self, flow: FlowId) -> FlowRecord {
+        let rec = self
+            .flow_records_for(std::iter::once(flow))
+            .pop()
+            .expect("retire_flow on vacant slot");
+        assert!(
+            self.arena.is_done(flow) || self.arena.is_aborted(flow),
+            "retire_flow on unsettled flow {flow}"
+        );
+        // Keep `completed + aborted` counting live flows only, so the
+        // run-until-done loops' settle condition stays exact.
+        if self.arena.is_done(flow) {
+            self.completed -= 1;
+        } else {
+            self.aborted -= 1;
+        }
+        let h = self.arena.handle(flow).expect("retire_flow on vacant slot");
+        self.arena.retire(h);
+        self.tracked_flows.retain(|(f, _)| *f != flow);
+        rec
     }
 
     /// Install a run controller.
@@ -534,6 +564,9 @@ impl Network {
         self.faults.get_or_insert_with(|| {
             FaultState::new(n_dlinks, n_hosts, Rng::new(seed ^ FAULT_RNG_SALT))
         });
+        if self.live_routes.is_none() {
+            self.live_routes = Some(LiveRoutes::new(&self.topo));
+        }
         for ev in plan.events {
             assert!(ev.at >= self.now, "fault event scheduled in the past");
             match ev.kind {
@@ -802,7 +835,7 @@ impl Network {
             return self.now; // a previous trip already aborted this run
         }
         let mut last_done = self.now;
-        while self.completed + self.aborted < self.flows.len() {
+        while self.completed + self.aborted < self.arena.live_count() {
             match self.events.pop() {
                 Some((et, ev)) => {
                     if et > cap {
@@ -885,10 +918,11 @@ impl Network {
     /// are currently marked stalled.
     fn metrics_flow_counts(&self, t: SimTime) -> (u64, u64) {
         let (mut active, mut stalled) = (0u64, 0u64);
-        for f in &self.flows {
-            if !f.done && !f.aborted && f.info.start <= t {
+        for f in self.arena.live_ids() {
+            let flags = self.arena.flags(f);
+            if flags & (FLAG_DONE | FLAG_ABORTED) == 0 && self.arena.info(f).start <= t {
                 active += 1;
-                if f.stalled {
+                if flags & FLAG_STALLED != 0 {
                     stalled += 1;
                 }
             }
@@ -922,7 +956,7 @@ impl Network {
             m.sample(&SampleView {
                 t,
                 ports: &self.ports,
-                flows_total: self.flows.len() as u64,
+                flows_total: self.arena.live_count() as u64,
                 flows_active: active,
                 flows_stalled: stalled,
                 flows_completed: self.completed as u64,
@@ -941,7 +975,7 @@ impl Network {
                     0.0
                 };
                 let done = self.completed + self.aborted;
-                let total = self.flows.len();
+                let total = self.arena.live_count();
                 let eta = if done > 0 && total > done {
                     format!("{:.1}s", wall * (total - done) as f64 / done as f64)
                 } else {
@@ -988,7 +1022,7 @@ impl Network {
                 m.refresh_final(&SampleView {
                     t: self.now,
                     ports: &self.ports,
-                    flows_total: self.flows.len() as u64,
+                    flows_total: self.arena.live_count() as u64,
                     flows_active: active,
                     flows_stalled: stalled,
                     flows_completed: self.completed as u64,
@@ -1007,7 +1041,7 @@ impl Network {
                 } else {
                     0.0
                 },
-                flows_total: self.flows.len() as u64,
+                flows_total: self.arena.live_count() as u64,
                 flows_active: active,
                 flows_completed: self.completed as u64,
                 flows_aborted: self.aborted as u64,
@@ -1128,9 +1162,27 @@ impl Network {
             .map(|(_, p)| p)
     }
 
-    /// Number of flows added.
+    /// Number of live flows (all flows ever added, minus retired ones; no
+    /// production path retires, so this is "flows added" there).
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.arena.live_count()
+    }
+
+    /// The flow arena (slot occupancy, generations, free-list length).
+    pub fn arena(&self) -> &FlowArena {
+        &self.arena
+    }
+
+    /// The timer wheels (per-host pending counts, level occupancy).
+    pub fn timer_wheels(&self) -> &TimerWheels {
+        &self.timers
+    }
+
+    /// Routing-table version: the number of effective link up/down changes
+    /// applied to the fault-aware routing overlay. Always 0 without an
+    /// installed fault plan.
+    pub fn routing_epoch(&self) -> u64 {
+        self.live_routes.as_ref().map_or(0, |lr| lr.epoch())
     }
 
     /// Number of completed flows.
@@ -1140,17 +1192,17 @@ impl Network {
 
     /// Flow facts.
     pub fn flow_info(&self, flow: FlowId) -> &FlowInfo {
-        &self.flows[flow.0 as usize].info
+        self.arena.info(flow)
     }
 
     /// Bytes delivered so far for a flow.
     pub fn delivered_bytes(&self, flow: FlowId) -> u64 {
-        self.flows[flow.0 as usize].rx_bytes
+        self.arena.rx_bytes(flow)
     }
 
     /// True once a flow completed.
     pub fn flow_done(&self, flow: FlowId) -> bool {
-        self.flows[flow.0 as usize].done
+        self.arena.is_done(flow)
     }
 
     /// Number of aborted flows.
@@ -1160,31 +1212,38 @@ impl Network {
 
     /// True once a flow's endpoint aborted it.
     pub fn flow_aborted(&self, flow: FlowId) -> bool {
-        self.flows[flow.0 as usize].aborted
+        self.arena.is_aborted(flow)
     }
 
-    /// Per-flow outcome records.
+    /// Per-flow outcome records, in flow-id order (live flows only).
     pub fn flow_records(&self) -> Vec<FlowRecord> {
-        self.flows
-            .iter()
-            .map(|f| FlowRecord {
-                id: f.info.id,
-                src: f.info.src,
-                dst: f.info.dst,
-                size_bytes: f.info.size_bytes,
-                start: f.info.start,
-                fct: f.fct,
-                credits_sent: f.credits_sent,
-                credits_wasted: f.credits_wasted,
-                outcome: if f.done {
-                    Some(FlowOutcome::Completed)
-                } else if f.aborted {
-                    Some(FlowOutcome::Aborted)
-                } else if f.stalled {
-                    Some(FlowOutcome::Stalled)
-                } else {
-                    None
-                },
+        self.flow_records_for(self.arena.live_ids())
+    }
+
+    fn flow_records_for(&self, flows: impl Iterator<Item = FlowId>) -> Vec<FlowRecord> {
+        flows
+            .map(|f| {
+                let info = self.arena.info(f);
+                let flags = self.arena.flags(f);
+                FlowRecord {
+                    id: info.id,
+                    src: info.src,
+                    dst: info.dst,
+                    size_bytes: info.size_bytes,
+                    start: info.start,
+                    fct: self.arena.fct(f),
+                    credits_sent: self.arena.credits_sent(f),
+                    credits_wasted: self.arena.credits_wasted(f),
+                    outcome: if flags & FLAG_DONE != 0 {
+                        Some(FlowOutcome::Completed)
+                    } else if flags & FLAG_ABORTED != 0 {
+                        Some(FlowOutcome::Aborted)
+                    } else if flags & FLAG_STALLED != 0 {
+                        Some(FlowOutcome::Stalled)
+                    } else {
+                        None
+                    },
+                }
             })
             .collect()
     }
@@ -1254,7 +1313,7 @@ impl Network {
         }
         if pkt.kind == PktKind::Credit {
             self.counters.credits_sent += 1;
-            self.flows[pkt.flow.0 as usize].credits_sent += 1;
+            self.arena.incr_credits_sent(pkt.flow);
             if self.trace.is_some() {
                 let ev = TraceEvent::CreditSent {
                     at: self.now,
@@ -1275,13 +1334,20 @@ impl Network {
     }
 
     pub(crate) fn arm_timer(&mut self, flow: FlowId, side: Side, kind: u8, delay: Dur) -> u64 {
-        let f = &mut self.flows[flow.0 as usize];
-        f.timer_gen += 1;
-        let gen = f.timer_gen;
+        let info = self.arena.info(flow);
+        let host = match side {
+            Side::Sender => info.src,
+            Side::Receiver => info.dst,
+        };
+        let fgen = self.arena.gen(flow);
+        let expiry = self.now + delay;
+        let gen = self.timers.arm(host, self.now, expiry);
         self.events.push(
-            self.now + delay,
+            expiry,
             Ev::Timer {
                 flow,
+                fgen,
+                host,
                 side,
                 kind,
                 gen,
@@ -1292,12 +1358,11 @@ impl Network {
 
     pub(crate) fn deliver(&mut self, flow: FlowId, bytes: u64) {
         self.counters.payload_delivered += bytes;
-        let f = &mut self.flows[flow.0 as usize];
-        f.rx_bytes += bytes;
-        if !f.done && f.rx_bytes >= f.info.size_bytes {
-            f.done = true;
-            let fct = self.now.since(f.info.start);
-            f.fct = Some(fct);
+        let rx = self.arena.add_rx_bytes(flow, bytes);
+        if !self.arena.is_done(flow) && rx >= self.arena.info(flow).size_bytes {
+            self.arena.set_flag(flow, FLAG_DONE, true);
+            let fct = self.now.since(self.arena.info(flow).start);
+            self.arena.set_fct(flow, fct);
             self.completed += 1;
             self.pending.push(Pending::Completed(flow));
             if let Some(m) = self.metrics.as_mut() {
@@ -1316,7 +1381,7 @@ impl Network {
 
     pub(crate) fn count_wasted_credit(&mut self, flow: FlowId) {
         self.counters.credits_wasted += 1;
-        self.flows[flow.0 as usize].credits_wasted += 1;
+        self.arena.incr_credits_wasted(flow);
         if self.trace.is_some() {
             let ev = TraceEvent::CreditWasted {
                 at: self.now,
@@ -1327,11 +1392,10 @@ impl Network {
     }
 
     pub(crate) fn abort_flow(&mut self, flow: FlowId) {
-        let f = &mut self.flows[flow.0 as usize];
-        if f.done || f.aborted {
+        if self.arena.flags(flow) & (FLAG_DONE | FLAG_ABORTED) != 0 {
             return;
         }
-        f.aborted = true;
+        self.arena.set_flag(flow, FLAG_ABORTED, true);
         self.aborted += 1;
         self.counters.flows_aborted += 1;
         if self.trace.is_some() {
@@ -1344,17 +1408,15 @@ impl Network {
     }
 
     pub(crate) fn mark_stalled(&mut self, flow: FlowId, stalled: bool) {
-        let f = &mut self.flows[flow.0 as usize];
-        if !f.done && !f.aborted && f.stalled != stalled {
-            f.stalled = stalled;
-            if self.trace.is_some() {
-                let ev = TraceEvent::FlowStalled {
-                    at: self.now,
-                    flow: flow.0,
-                    stalled,
-                };
-                self.trace_emit(ev);
-            }
+        let changed = self.arena.flags(flow) & (FLAG_DONE | FLAG_ABORTED) == 0
+            && self.arena.set_flag(flow, FLAG_STALLED, stalled);
+        if changed && self.trace.is_some() {
+            let ev = TraceEvent::FlowStalled {
+                at: self.now,
+                flow: flow.0,
+                stalled,
+            };
+            self.trace_emit(ev);
         }
     }
 
@@ -1368,17 +1430,23 @@ impl Network {
             Ev::HostRx { pkt } => self.on_host_rx(pkt),
             Ev::Timer {
                 flow,
+                fgen,
+                host,
                 side,
                 kind,
                 gen,
             } => {
-                if (flow.0 as usize) < self.flows.len() {
+                // Wheel accounting happens for every firing — even one
+                // whose flow has been retired (the arena generation check
+                // below then drops it without dispatching).
+                self.timers.fired(host, gen, self.now);
+                if self.arena.check_gen(flow, fgen) {
                     self.dispatch(flow, side, |ep, ctx| ep.on_timer(kind, gen, ctx));
                 }
             }
             Ev::FlowStart { flow } => {
                 if self.trace.is_some() {
-                    let info = &self.flows[flow.0 as usize].info;
+                    let info = self.arena.info(flow);
                     let ev = TraceEvent::FlowStarted {
                         at: self.now,
                         flow: flow.0,
@@ -1421,6 +1489,9 @@ impl Network {
                 let lf = &mut st.links[dlink.0 as usize];
                 lf.down = true;
                 lf.frozen = !flush;
+                if let Some(lr) = self.live_routes.as_mut() {
+                    lr.set_link(&self.topo, dlink, true);
+                }
                 if flush {
                     let port = &mut self.ports[dlink.0 as usize];
                     let (mut pkts, mut bytes) = port.data.flush_counted(now);
@@ -1439,6 +1510,9 @@ impl Network {
                 let lf = &mut st.links[dlink.0 as usize];
                 lf.down = false;
                 lf.frozen = false;
+                if let Some(lr) = self.live_routes.as_mut() {
+                    lr.set_link(&self.topo, dlink, false);
+                }
                 // Frozen backlog (and anything enqueued while down) resumes.
                 self.events.push(now, Ev::PortWake { dlink });
             }
@@ -1527,44 +1601,36 @@ impl Network {
         let to = self.topo.dlinks[dlink.0 as usize].to;
         match to {
             NodeId::Switch(sw) => {
-                let choices = &self.topo.routes[sw.0 as usize][pkt.dst.0 as usize];
+                let choices = self.topo.route_choices(sw, pkt.dst);
                 assert!(
                     !choices.is_empty(),
                     "switch {sw} has no route to {}",
                     pkt.dst
                 );
-                let out = if let Some(st) = self.faults.as_ref() {
-                    // Routing excludes dead links: re-hash ECMP over the
-                    // surviving choices (next-Arrive granularity, like a
-                    // switch reacting to loss-of-signal).
-                    let live: Vec<DLinkId> = choices
-                        .iter()
-                        .copied()
-                        .filter(|d| !st.links[d.0 as usize].down)
-                        .collect();
-                    if live.is_empty() {
-                        self.counters.pkts_lost_to_faults += 1;
-                        if let Some(l) = self.ledger.as_mut() {
-                            l.fault_loss(pkt.size);
-                        }
-                        return;
-                    }
-                    let idx = match self.cfg.routing {
-                        crate::config::RoutingMode::EcmpSymmetric => {
-                            ecmp_index(pkt.src, pkt.dst, pkt.flow, live.len())
-                        }
-                        crate::config::RoutingMode::PacketSpray => self.rng.index(live.len()),
-                    };
-                    live[idx]
-                } else {
-                    let idx = match self.cfg.routing {
-                        crate::config::RoutingMode::EcmpSymmetric => {
-                            ecmp_index(pkt.src, pkt.dst, pkt.flow, choices.len())
-                        }
-                        crate::config::RoutingMode::PacketSpray => self.rng.index(choices.len()),
-                    };
-                    choices[idx]
+                // Routing excludes dead links: the fault-aware overlay
+                // keeps per-slice live subsets (recomputed at each link
+                // up/down event — next-Arrive granularity, like a switch
+                // reacting to loss-of-signal) and ECMP re-hashes over the
+                // survivors. Without a fault plan the base slice is used
+                // directly.
+                let live = match self.live_routes.as_ref() {
+                    Some(lr) => lr.choices(&self.topo, sw, pkt.dst),
+                    None => choices,
                 };
+                if live.is_empty() {
+                    self.counters.pkts_lost_to_faults += 1;
+                    if let Some(l) = self.ledger.as_mut() {
+                        l.fault_loss(pkt.size);
+                    }
+                    return;
+                }
+                let idx = match self.cfg.routing {
+                    crate::config::RoutingMode::EcmpSymmetric => {
+                        ecmp_index(pkt.src, pkt.dst, pkt.flow, live.len())
+                    }
+                    crate::config::RoutingMode::PacketSpray => self.rng.index(live.len()),
+                };
+                let out = live[idx];
                 self.enqueue_at(out, pkt);
             }
             NodeId::Host(h) => {
@@ -1759,10 +1825,10 @@ impl Network {
             l.deliver(pkt.size);
         }
         let flow = pkt.flow;
-        if (flow.0 as usize) >= self.flows.len() {
+        if !self.arena.is_live(flow) {
             return;
         }
-        let side = if pkt.dst == self.flows[flow.0 as usize].info.src {
+        let side = if pkt.dst == self.arena.info(flow).src {
             Side::Sender
         } else {
             Side::Receiver
@@ -1778,11 +1844,7 @@ impl Network {
         side: Side,
         f: impl FnOnce(&mut Box<dyn Endpoint>, &mut Ctx<'_>),
     ) {
-        let slot = match side {
-            Side::Sender => self.flows[flow.0 as usize].sender.take(),
-            Side::Receiver => self.flows[flow.0 as usize].receiver.take(),
-        };
-        let Some(mut ep) = slot else {
+        let Some(mut ep) = self.arena.take_endpoint(flow, side) else {
             return; // re-entrant dispatch on the same endpoint: drop silently
         };
         {
@@ -1793,10 +1855,7 @@ impl Network {
             };
             f(&mut ep, &mut ctx);
         }
-        match side {
-            Side::Sender => self.flows[flow.0 as usize].sender = Some(ep),
-            Side::Receiver => self.flows[flow.0 as usize].receiver = Some(ep),
-        }
+        self.arena.put_endpoint(flow, side, ep);
         self.flush_pending();
     }
 
@@ -1824,7 +1883,7 @@ impl Network {
         };
         let now = self.now;
         for (flow, last) in self.tracked_flows.iter_mut() {
-            let cur = self.flows[flow.0 as usize].rx_bytes;
+            let cur = self.arena.rx_bytes(*flow);
             let delta = cur - *last;
             *last = cur;
             let gbps = delta as f64 * 8.0 / interval.as_secs_f64() / 1e9;
@@ -1840,7 +1899,7 @@ impl Network {
         }
         // Keep sampling while work remains; stop once everything settled
         // so `run_until_done` terminates.
-        if self.completed + self.aborted < self.flows.len() {
+        if self.completed + self.aborted < self.arena.live_count() {
             self.events.push(now + interval, Ev::Sample);
         } else {
             self.sample_scheduled = false;
@@ -1884,33 +1943,40 @@ impl Network {
         for p in &self.ports {
             p.snap(w);
         }
-        w.usize(self.flows.len());
-        for f in &self.flows {
+        w.usize(self.arena.slot_count());
+        for i in 0..self.arena.slot_count() {
+            let flow = FlowId(i as u32);
+            let live = self.arena.is_live(flow);
+            w.bool(live);
+            w.u32(self.arena.gen(flow));
+            if !live {
+                continue; // vacant (retired) slot: generation only
+            }
             // Flow identity rides along so flows added dynamically during
             // the run (request/response controllers) can be rebuilt from
             // the factory on restore.
-            w.u32(f.info.src.0);
-            w.u32(f.info.dst.0);
-            w.u64(f.info.size_bytes);
-            w.u64(f.info.start.0);
-            w.u8(f.info.class);
-            w.u64(f.rx_bytes);
-            w.bool(f.done);
-            w.opt(f.fct.as_ref(), |w, d| w.u64(d.0));
-            w.u64(f.timer_gen);
-            w.u64(f.credits_sent);
-            w.u64(f.credits_wasted);
-            w.bool(f.aborted);
-            w.bool(f.stalled);
-            f.sender
-                .as_ref()
+            let info = self.arena.info(flow);
+            w.u32(info.src.0);
+            w.u32(info.dst.0);
+            w.u64(info.size_bytes);
+            w.u64(info.start.0);
+            w.u8(info.class);
+            w.u64(self.arena.rx_bytes(flow));
+            w.u8(self.arena.flags(flow));
+            w.opt(self.arena.fct(flow).as_ref(), |w, d| w.u64(d.0));
+            w.u64(self.arena.credits_sent(flow));
+            w.u64(self.arena.credits_wasted(flow));
+            self.arena
+                .endpoint(flow, Side::Sender)
                 .expect("sender checked out during snapshot")
                 .snap_state(w);
-            f.receiver
-                .as_ref()
+            self.arena
+                .endpoint(flow, Side::Receiver)
                 .expect("receiver checked out during snapshot")
                 .snap_state(w);
         }
+        w.seq(self.arena.free_list(), |w, i| w.u32(*i));
+        self.timers.snap(w);
         w.usize(self.pending.len());
         for p in &self.pending {
             match p {
@@ -1928,6 +1994,9 @@ impl Network {
         w.usize(self.aborted);
         w.opt(self.controller.as_ref(), |w, c| c.snap_ctl(w));
         w.opt(self.faults.as_ref(), |w, st| st.snap(w));
+        // The routing overlay's live slices are derived state (fault link
+        // flags × flat tables); only the epoch needs to ride along.
+        w.opt(self.live_routes.as_ref(), |w, lr| w.u64(lr.epoch()));
         w.opt(self.invariants.as_ref(), |w, st| st.snap(w));
         w.opt(self.ledger.as_ref(), |w, l| l.snap(w));
         w.opt(self.watchdog.as_ref(), |w, wd| wd.snap(w));
@@ -2019,49 +2088,64 @@ impl Network {
         r.leave();
         r.enter("flows");
         let nf = r.seq_len(1)?;
-        if nf < self.flows.len() {
+        if nf < self.arena.slot_count() {
             return Err(r.err(format!(
                 "flow count mismatch: configuration has {}, snapshot has only {nf}",
-                self.flows.len()
+                self.arena.slot_count()
             )));
         }
+        let configured = self.arena.slot_count();
         for i in 0..nf {
             r.enter(i.to_string());
+            let flow = FlowId(i as u32);
+            let occupied = r.bool()?;
+            let gen = r.u32()?;
+            if i < configured {
+                // Rebuilt by the deterministic setup (which never
+                // retires): the snapshot must agree the slot is live.
+                if !occupied {
+                    return Err(r.err(format!(
+                        "flow slot occupancy mismatch: configuration has \
+                         flow {flow} live, snapshot has the slot vacant"
+                    )));
+                }
+            } else if !occupied {
+                // Tail slot retired before the snapshot: generation only.
+                self.arena.push_vacant(gen);
+                r.leave();
+                continue;
+            }
             let src = HostId(r.u32()?);
             let dst = HostId(r.u32()?);
             let size_bytes = r.u64()?;
             let start = SimTime(r.u64()?);
             let class = r.u8()?;
-            if i == self.flows.len() {
+            if i >= configured {
                 // Added dynamically during the snapshotted run (after the
                 // setup the resume replayed): rebuild from the factory. No
                 // FlowStart is scheduled — the restored queue already holds
                 // whatever remains of this flow's events.
+                let h = self.arena.alloc();
+                if h.idx as usize != i {
+                    return Err(r.err(format!(
+                        "flow slot occupancy mismatch: dynamic flow {i} \
+                         restored into slot {}",
+                        h.idx
+                    )));
+                }
                 let info = FlowInfo {
-                    id: FlowId(i as u32),
+                    id: flow,
                     src,
                     dst,
                     size_bytes,
                     start,
                     class,
                 };
-                let sender = (self.factory)(Side::Sender, &info);
-                let receiver = (self.factory)(Side::Receiver, &info);
-                self.flows.push(FlowRuntime {
-                    info,
-                    sender: Some(sender),
-                    receiver: Some(receiver),
-                    rx_bytes: 0,
-                    done: false,
-                    fct: None,
-                    timer_gen: 0,
-                    credits_sent: 0,
-                    credits_wasted: 0,
-                    aborted: false,
-                    stalled: false,
-                });
+                let sender = (self.factory)(Side::Sender, &info, h);
+                let receiver = (self.factory)(Side::Receiver, &info, h);
+                self.arena.commit(h, info, sender, receiver);
             } else {
-                let info = &self.flows[i].info;
+                let info = self.arena.info(flow);
                 if info.src != src
                     || info.dst != dst
                     || info.size_bytes != size_bytes
@@ -2075,29 +2159,45 @@ impl Network {
                     )));
                 }
             }
-            let f = &mut self.flows[i];
-            f.rx_bytes = r.u64()?;
-            f.done = r.bool()?;
-            f.fct = r.opt(|r| r.u64())?.map(Dur);
-            f.timer_gen = r.u64()?;
-            f.credits_sent = r.u64()?;
-            f.credits_wasted = r.u64()?;
-            f.aborted = r.bool()?;
-            f.stalled = r.bool()?;
+            self.arena.force_gen(flow, gen);
+            let rx_bytes = r.u64()?;
+            let flags = r.u8()?;
+            let fct = r.opt(|r| r.u64())?.map(Dur);
+            let credits_sent = r.u64()?;
+            let credits_wasted = r.u64()?;
+            self.arena
+                .overlay_dynamic(flow, rx_bytes, credits_sent, credits_wasted, flags, fct);
             r.enter("sender");
-            f.sender
-                .as_mut()
+            self.arena
+                .endpoint_mut(flow, Side::Sender)
                 .expect("sender checked out during restore")
                 .restore_state(&mut r)?;
             r.leave();
             r.enter("receiver");
-            f.receiver
-                .as_mut()
+            self.arena
+                .endpoint_mut(flow, Side::Receiver)
                 .expect("receiver checked out during restore")
                 .restore_state(&mut r)?;
             r.leave();
             r.leave();
         }
+        r.enter("free_list");
+        let n = r.seq_len(4)?;
+        let mut free = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.u32()?;
+            if (idx as usize) >= self.arena.slot_count() || self.arena.is_live(FlowId(idx)) {
+                return Err(r.err(format!(
+                    "free list entry {idx} does not address a vacant slot"
+                )));
+            }
+            free.push(idx);
+        }
+        self.arena.set_free_list(free);
+        r.leave();
+        r.enter("timers");
+        self.timers.restore(&mut r)?;
+        r.leave();
         r.leave();
         r.enter("pending");
         let n = r.seq_len(5)?;
@@ -2146,6 +2246,25 @@ impl Network {
         presence(&r, "fault state", self.faults.is_some(), has)?;
         if let Some(st) = self.faults.as_mut() {
             st.restore(&mut r)?;
+        }
+        r.leave();
+        r.enter("routing");
+        let has = r.bool()?;
+        presence(&r, "routing overlay", self.live_routes.is_some(), has)?;
+        if self.live_routes.is_some() {
+            let epoch = r.u64()?;
+            // The live slices are derived state: replay the restored link
+            // flags into a fresh overlay, then adopt the snapshot's epoch.
+            let mut lr = LiveRoutes::new(&self.topo);
+            if let Some(st) = self.faults.as_ref() {
+                for (i, lf) in st.links.iter().enumerate() {
+                    if lf.down {
+                        lr.set_link(&self.topo, DLinkId(i as u32), true);
+                    }
+                }
+            }
+            lr.set_epoch(epoch);
+            self.live_routes = Some(lr);
         }
         r.leave();
         r.enter("invariants");
@@ -2309,7 +2428,7 @@ mod tests {
         Network::new(
             topo,
             cfg,
-            Box::new(move |side, _info| {
+            Box::new(move |side, _info, _h| {
                 Box::new(Probe {
                     log: l2.clone(),
                     side: match side {
@@ -2419,7 +2538,7 @@ mod tests {
         let mut net = Network::new(
             topo,
             cfg,
-            Box::new(move |side, _info| -> Box<dyn Endpoint> {
+            Box::new(move |side, _info, _h| -> Box<dyn Endpoint> {
                 match side {
                     Side::Sender => Box::new(Rearm {
                         log: l2.clone(),

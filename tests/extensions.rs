@@ -202,7 +202,7 @@ fn uncredited_background_traffic_is_absorbed() {
     let mut net = Network::new(
         topo,
         cfg,
-        Box::new(|side, info| {
+        Box::new(|side, info, _h| {
             if info.id.0 == 2 {
                 match side {
                     Side::Sender => Box::new(UdpBlastSender::new(3e8)),
@@ -235,7 +235,12 @@ fn link_failure_reroutes_and_preserves_symmetry() {
     // ToR 0 (switch 0) to its first agg (aggs start at k*half = 8).
     let failed = topo.without_cable(NodeId::Switch(SwitchId(0)), NodeId::Switch(SwitchId(8)));
     // ToR 0 now has a single uplink toward remote pods.
-    assert_eq!(failed.routes[0][failed.n_hosts - 1].len(), 1);
+    assert_eq!(
+        failed
+            .route_choices(SwitchId(0), HostId(failed.n_hosts as u32 - 1))
+            .len(),
+        1
+    );
     let cfg = NetConfig::expresspass().with_seed(61);
     let mut net = Network::new(failed, cfg, xpass_factory(XPassConfig::default()));
     for i in 0..4u32 {

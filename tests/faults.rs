@@ -270,8 +270,9 @@ mod without_cable {
         assert!(cut.dlink_between(a, b).is_none());
         assert!(cut.dlink_between(b, a).is_none());
         // … no recomputed path uses any link touching the removed pair …
-        for (s, per_dst) in cut.routes.iter().enumerate() {
-            for (h, choices) in per_dst.iter().enumerate() {
+        for s in 0..cut.n_switches {
+            for h in 0..cut.n_hosts {
+                let choices = cut.route_choices(SwitchId(s as u32), HostId(h as u32));
                 assert!(
                     !choices.is_empty(),
                     "switch {s} lost all routes to host {h}"

@@ -9,7 +9,7 @@
 use xpass::expresspass::feedback::{max_credit_rate, CreditFeedback};
 use xpass::expresspass::netcalc::{buffer_bounds, HierTopo, NetCalcParams};
 use xpass::expresspass::XPassConfig;
-use xpass::net::ids::{FlowId, HostId};
+use xpass::net::ids::{FlowId, HostId, SwitchId};
 use xpass::net::packet::{data_wire_size, Packet, PktKind, MAX_FRAME, MIN_FRAME};
 use xpass::net::queue::{CreditDropPolicy, CreditQueue, DataQueue};
 use xpass::net::routing::{ecmp_index, symmetric_flow_hash};
@@ -280,7 +280,12 @@ fn fat_tree_routes_complete() {
         // Every switch can route to every host with ≥1 next hop.
         for s in 0..topo.n_switches {
             for h in 0..topo.n_hosts {
-                assert!(!topo.routes[s][h].is_empty(), "sw{s} cannot reach h{h}");
+                assert!(
+                    !topo
+                        .route_choices(SwitchId(s as u32), HostId(h as u32))
+                        .is_empty(),
+                    "sw{s} cannot reach h{h}"
+                );
             }
         }
     }

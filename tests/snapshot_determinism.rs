@@ -230,6 +230,81 @@ fn network_state_round_trips_in_process_across_schedulers() {
     assert_eq!(a.completed_count(), 2);
 }
 
+/// The million-flow memory layout round-trips: a small fig15_xl-style
+/// 3-tier Clos with a mid-run cable cut, snapshotted while timers are
+/// armed and the fault overlay is active, restores into a twin under the
+/// other scheduler — arena slots (with SoA lanes), timer-wheel occupancy,
+/// and the routing-overlay epoch all travel through the bytes.
+#[test]
+fn three_tier_with_faults_round_trips_across_schedulers() {
+    use xpass::net::faults::FaultPlan;
+    use xpass::net::ids::NodeId;
+
+    fn clos_net() -> Network {
+        // 4 pods × 2 ToRs × 6 hosts = 48 hosts, the fig15_xl quick shape.
+        let topo = Topology::three_tier(
+            4,
+            2,
+            2,
+            6,
+            4,
+            10_000_000_000,
+            10_000_000_000,
+            10_000_000_000,
+            Dur::us(1),
+        );
+        let cfg = NetConfig::expresspass().with_seed(29);
+        let mut net = Network::new(topo, cfg, xpass_factory(XPassConfig::aggressive()));
+        for i in 0..24u32 {
+            net.add_flow(HostId(i), HostId(24 + i), 400_000, SimTime::ZERO);
+        }
+        // Cut one ToR uplink mid-run so the flat-route overlay holds
+        // excluded slices (and a bumped epoch) at the snapshot point.
+        let tor = net.topo().tor_switches()[0];
+        let up = net.topo().route_choices(tor, HostId(47))[0];
+        let agg = match net.topo().dlinks[up.0 as usize].to {
+            NodeId::Switch(s) => s,
+            other => panic!("ToR uplink must reach a switch, got {other:?}"),
+        };
+        let down = net
+            .topo()
+            .dlink_between(NodeId::Switch(agg), NodeId::Switch(tor))
+            .unwrap();
+        net.install_fault_plan(
+            FaultPlan::new()
+                .cable_down(SimTime::ZERO + Dur::us(100), up, down)
+                .cable_up(SimTime::ZERO + Dur::us(600), up, down),
+        );
+        net
+    }
+
+    // Generous cap: a SYN blackholed by the cut retries on exponential
+    // backoff and may settle tens of ms after the heal.
+    let cap = SimTime::ZERO + Dur::ms(200);
+    set_thread_scheduler(SchedulerKind::Heap);
+    let mut a = clos_net();
+    a.run_until(SimTime::ZERO + Dur::us(250));
+    let mut w = SnapWriter::new();
+    a.snapshot_into(&mut w);
+    let body = w.into_body();
+    a.run_until_done(cap);
+
+    set_thread_scheduler(SchedulerKind::Calendar);
+    let mut b = clos_net();
+    b.restore_from(&body).expect("clos twin restore");
+    b.run_until_done(cap);
+
+    assert_eq!(a.flow_records(), b.flow_records());
+    assert_eq!(a.counters(), b.counters());
+    assert_eq!(a.now(), b.now());
+    // The cut can abort a SYN-blackholed flow or two; every flow must
+    // still settle, identically on both sides.
+    assert_eq!(a.completed_count() + a.aborted_count(), 24);
+    assert_eq!(a.completed_count(), b.completed_count());
+    assert_eq!(a.aborted_count(), b.aborted_count());
+    set_thread_scheduler(SchedulerKind::default());
+}
+
 /// Satellite: a run killed by its event budget leaves a valid latest
 /// snapshot behind, and resuming with a larger budget completes
 /// byte-identically to the run that was never killed.

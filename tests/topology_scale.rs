@@ -1,0 +1,129 @@
+//! Structural tests for the datacenter-scale Clos presets: host, switch,
+//! link, and ECMP-fanout counts at the 10k- and 65k-host shapes, plus the
+//! flat routing table's invariants. No simulation runs — these pin the
+//! graph construction (and its preallocation arithmetic) only.
+
+use xpass::net::ids::{HostId, NodeId, SwitchId};
+use xpass::net::topology::Topology;
+use xpass::sim::time::Dur;
+
+const G10: u64 = 10_000_000_000;
+const G40: u64 = 40_000_000_000;
+
+/// Directed-link count of a Clos: every cable contributes two dlinks.
+fn expected_dlinks(hosts: usize, tor_agg_cables: usize, agg_core_cables: usize) -> usize {
+    2 * (hosts + tor_agg_cables + agg_core_cables)
+}
+
+#[test]
+fn three_tier_10k_structure() {
+    let topo = Topology::three_tier_10k(G10, G10, G40, Dur::us(1));
+    // 16 pods × 16 ToRs × 40 hosts.
+    assert_eq!(topo.n_hosts, 10_240);
+    // 256 ToRs + 128 aggs + 64 cores.
+    assert_eq!(topo.n_switches, 448);
+    assert_eq!(topo.n_tors(), 256);
+    assert_eq!(topo.tor_switches().len(), 256);
+    // Cables: one per host, 16×16×8 ToR–agg, 16×8×8 agg–core.
+    assert_eq!(
+        topo.dlinks.len(),
+        expected_dlinks(10_240, 2_048, 1_024),
+        "directed link count"
+    );
+    // Every host hangs off exactly one ToR; attachment arrays agree.
+    for h in 0..topo.n_hosts {
+        let up = topo.host_uplink[h];
+        let down = topo.host_downlink[h];
+        assert_eq!(
+            topo.dlinks[up.0 as usize].from,
+            NodeId::Host(HostId(h as u32))
+        );
+        assert_eq!(
+            topo.dlinks[down.0 as usize].to,
+            NodeId::Host(HostId(h as u32))
+        );
+        assert_eq!(
+            NodeId::Switch(topo.host_tor[h]),
+            topo.dlinks[up.0 as usize].to
+        );
+    }
+}
+
+#[test]
+fn three_tier_10k_ecmp_fanout() {
+    let topo = Topology::three_tier_10k(G10, G10, G40, Dur::us(1));
+    // Host 0 sits in pod 0; the last host sits in pod 15.
+    let src_tor = topo.host_tor[0];
+    let remote = HostId(topo.n_hosts as u32 - 1);
+    // Host 1 shares host 0's ToR.
+    let local = HostId(1);
+    // ToR → remote pod: all 8 pod aggs are candidate next hops.
+    assert_eq!(topo.route_choices(src_tor, remote).len(), 8);
+    // ToR → same-ToR host: the single downlink.
+    assert_eq!(topo.route_choices(src_tor, local).len(), 1);
+    // Agg → remote pod: its core group of 64/8 = 8 cores.
+    let agg = match topo.dlinks[topo.route_choices(src_tor, remote)[0].0 as usize].to {
+        NodeId::Switch(s) => s,
+        other => panic!("ToR uplink must reach a switch, got {other:?}"),
+    };
+    assert_eq!(topo.route_choices(agg, remote).len(), 8);
+    // Core → destination pod: exactly one agg (its group peer in that pod).
+    let core = match topo.dlinks[topo.route_choices(agg, remote)[0].0 as usize].to {
+        NodeId::Switch(s) => s,
+        other => panic!("agg uplink must reach a core, got {other:?}"),
+    };
+    assert_eq!(topo.route_choices(core, remote).len(), 1);
+}
+
+#[test]
+fn three_tier_65k_structure() {
+    let topo = Topology::three_tier_65k(G10, G10, G40, Dur::us(1));
+    // 32 pods × 32 ToRs × 64 hosts.
+    assert_eq!(topo.n_hosts, 65_536);
+    // 1024 ToRs + 512 aggs + 128 cores.
+    assert_eq!(topo.n_switches, 1_664);
+    assert_eq!(topo.n_tors(), 1_024);
+    // Cables: one per host, 32×32×16 ToR–agg, 32×16×8 agg–core.
+    assert_eq!(
+        topo.dlinks.len(),
+        expected_dlinks(65_536, 16_384, 4_096),
+        "directed link count"
+    );
+    // ToR uplink fanout toward a remote pod: all 16 pod aggs.
+    let src_tor = topo.host_tor[0];
+    let remote = HostId(topo.n_hosts as u32 - 1);
+    assert_eq!(topo.route_choices(src_tor, remote).len(), 16);
+}
+
+#[test]
+fn flat_routes_cover_every_switch_host_pair_at_10k() {
+    let topo = Topology::three_tier_10k(G10, G10, G40, Dur::us(1));
+    // Spot-check coverage across the id range (the full cross product is
+    // 4.6M pairs; a strided sample keeps this test fast while touching
+    // every switch tier and pod).
+    for s in (0..topo.n_switches).step_by(7) {
+        for h in (0..topo.n_hosts).step_by(641) {
+            assert!(
+                !topo
+                    .route_choices(SwitchId(s as u32), HostId(h as u32))
+                    .is_empty(),
+                "sw{s} has no route to h{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eval_fat_tree_matches_paper_shape() {
+    let topo = Topology::eval_fat_tree(G10);
+    // §6.3: 8 pods × 4 ToRs × 6 hosts = 192 hosts; 32 ToRs + 16 aggs +
+    // 8 cores; 3:1 oversubscription at the ToR (6 hosts over 2 uplinks).
+    assert_eq!(topo.n_hosts, 192);
+    assert_eq!(topo.n_switches, 56);
+    assert_eq!(topo.n_tors(), 32);
+    // Cables: one per host, 8×4×2 ToR–agg, 8×2×4 agg–core.
+    assert_eq!(topo.dlinks.len(), expected_dlinks(192, 64, 64));
+    let tor = topo.host_tor[0];
+    let remote = HostId(topo.n_hosts as u32 - 1);
+    assert_eq!(topo.route_choices(tor, remote).len(), 2);
+}
